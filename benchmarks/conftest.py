@@ -1,0 +1,23 @@
+"""Benchmark-suite plumbing.
+
+pytest captures stdout at the file-descriptor level, so the result
+tables the benchmarks emit would never reach the terminal.  This hook
+replays everything recorded through :func:`repro.bench.emit` in the
+terminal summary and archives it to ``benchmarks/results_latest.txt``.
+"""
+
+from pathlib import Path
+
+from repro.bench.harness import EMITTED
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not EMITTED:
+        return
+    terminalreporter.section("paper figure/table reproductions")
+    for block in EMITTED:
+        for line in block.splitlines():
+            terminalreporter.write_line(line)
+    archive = Path(__file__).parent / "results_latest.txt"
+    archive.write_text("\n".join(EMITTED) + "\n")
+    terminalreporter.write_line(f"\n(archived to {archive})")

@@ -1,0 +1,57 @@
+"""A5 — head-width sweep with the EDEN-style multi-bit codec (§5.1).
+
+The paper evaluates P=1 and asks for versatile encodings supporting
+other widths.  We sweep P ∈ {1, 2, 4, 8}: trimmed-packet size grows
+linearly with P while the trimmed-decode error falls roughly 4x per
+extra 2 bits (Lloyd-Max for the post-RHT Gaussian), mapping the
+quality/compression frontier a trim-depth policy can choose from.
+"""
+
+import numpy as np
+
+from repro.bench import emit, format_table
+from repro.core import EdenCodec, coords_per_packet, nmse
+from repro.packet import WIRE_HEADER_BYTES, GRADIENT_HEADER_BYTES
+
+NUM_COORDS = 2**15
+
+
+def run_a5():
+    x = np.random.default_rng(0).standard_normal(NUM_COORDS)
+    rows = []
+    for bits in [1, 2, 4, 8]:
+        codec = EdenCodec(root_seed=1, head_bits=bits, row_size=4096)
+        enc = codec.encode(x)
+        full_err = nmse(x, codec.decode(enc))
+        trim_err = nmse(x, codec.decode(enc, trimmed=np.ones(enc.length, bool)))
+        n = coords_per_packet(1500, bits, 32 - bits)
+        trimmed_bytes = WIRE_HEADER_BYTES + GRADIENT_HEADER_BYTES + (-(-bits * n // 8))
+        rows.append(
+            [
+                f"P={bits}",
+                f"{trimmed_bytes}",
+                f"{trimmed_bytes / 1500:.1%}",
+                f"{full_err:.1e}",
+                f"{trim_err:.5f}",
+            ]
+        )
+    return rows
+
+
+def test_a5_head_width(benchmark):
+    rows = benchmark.pedantic(run_a5, rounds=1, iterations=1)
+    emit("\n" + format_table(
+        ["head width", "trimmed pkt (B)", "of MTU", "untrimmed NMSE", "all-trimmed NMSE"],
+        rows,
+        title="[A5] EDEN head-width sweep (Section 5.1 versatile encodings)",
+    ))
+    errors = [float(r[4]) for r in rows]
+    assert errors == sorted(errors, reverse=True)
+    # P=1 matches the Lloyd-Max 1-bit Gaussian MSE, 1 - 2/pi ~ 0.363.
+    assert abs(errors[0] - (1 - 2 / np.pi)) < 0.03
+    # P=8 trimmed decode is already excellent.
+    assert errors[-1] < 1e-3
+    # Trimmed packet sizes scale with P but all remain far below MTU.
+    sizes = [int(r[1]) for r in rows]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] < 1500 * 0.4

@@ -1,0 +1,62 @@
+"""A9 — world-size scaling under trimming.
+
+The paper's testbed has two GPU servers.  At larger world sizes the
+all-reduce *averages* each worker's independently-trimmed message, so
+the variance of unbiased codecs (SQ) shrinks like 1/N while the sign
+codec's bias does not average away — scale should widen the gap between
+biased and unbiased encodings.
+"""
+
+from repro.bench import emit, format_table
+from repro.bench.experiments import RHT_ROW_SIZE, _make_model, training_dataset
+from repro.collectives import AllReduceHook
+from repro.core import codec_by_name
+from repro.train import DDPTrainer, TrainConfig, TrimChannel
+
+TRIM_RATE = 0.5
+EPOCHS = 6
+
+
+def run_one(codec_name, world_size):
+    train, test = training_dataset()
+    model = _make_model()
+    kwargs = {"row_size": RHT_ROW_SIZE} if codec_name == "rht" else {}
+    codec = codec_by_name(codec_name, root_seed=3, **kwargs)
+    hook = AllReduceHook(TrimChannel(codec, TRIM_RATE, seed=5))
+    config = TrainConfig(
+        epochs=EPOCHS, batch_size=16, lr=0.05, momentum=0.9,
+        step_size=4, gamma=0.2, seed=0, augment=False,
+    )
+    trainer = DDPTrainer(
+        model, train, test, world_size=world_size, hook=hook, config=config
+    )
+    return trainer.train()
+
+
+def run_a9():
+    rows = []
+    results = {}
+    for codec in ["sq", "sign"]:
+        for world in [2, 4]:
+            history = run_one(codec, world)
+            results[(codec, world)] = history.final_top1
+            rows.append(
+                [codec, world, f"{history.final_top1:.3f}",
+                 f"{history.records[-1].train_loss:.3f}"]
+            )
+    return rows, results
+
+
+def test_a9_world_size(benchmark):
+    rows, results = benchmark.pedantic(run_a9, rounds=1, iterations=1)
+    emit("\n" + format_table(
+        ["codec @ 50% trim", "world size", "final top1", "train loss"],
+        rows,
+        title="[A9] world-size scaling: averaging helps unbiased codecs",
+    ))
+    # SQ (unbiased): more workers average away trim noise.
+    assert results[("sq", 4)] >= results[("sq", 2)] - 0.03
+    # The unbiased codec keeps/extends its lead over sign at scale.
+    gap_2 = results[("sq", 2)] - results[("sign", 2)]
+    gap_4 = results[("sq", 4)] - results[("sign", 4)]
+    assert gap_4 >= min(gap_2, 0.05) - 0.05

@@ -1,0 +1,56 @@
+"""Codec encode+decode microbenchmarks (feeds the Figure 5 cost model).
+
+These use the real pytest-benchmark loop (not pedantic) — they are the
+measured per-coordinate throughput numbers that the round-time model
+scales into the Figure 5 breakdown.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiLevelCodec, codec_by_name
+
+NUM_COORDS = 2**16
+
+
+@pytest.fixture(scope="module")
+def gradient():
+    return np.random.default_rng(0).standard_normal(NUM_COORDS)
+
+
+@pytest.mark.parametrize("name", ["sign", "sq", "sd", "rht"])
+def test_encode_decode_throughput(benchmark, gradient, name):
+    kwargs = {"row_size": 4096} if name == "rht" else {}
+    codec = codec_by_name(name, root_seed=1, **kwargs)
+
+    def round_trip():
+        enc = codec.encode(gradient, epoch=0, message_id=1)
+        return codec.decode(enc)
+
+    result = benchmark(round_trip)
+    assert result.shape == (NUM_COORDS,)
+
+
+def test_multilevel_throughput(benchmark, gradient):
+    codec = MultiLevelCodec(root_seed=1, row_size=4096)
+
+    def round_trip():
+        enc = codec.encode(gradient)
+        return codec.decode(enc)
+
+    result = benchmark(round_trip)
+    assert result.shape == (NUM_COORDS,)
+
+
+def test_trim_operation_throughput(benchmark, gradient):
+    """The switch-side cost: trimming a packet is just a byte slice."""
+    from repro.core import SignMagnitudeCodec, packetize
+
+    packets = packetize(SignMagnitudeCodec().encode(gradient), "a", "b")
+    data = [p for p in packets[1:] if p.trimmable_bytes() is not None]
+
+    def trim_all():
+        return [p.trim() for p in data]
+
+    trimmed = benchmark(trim_all)
+    assert all(t.is_trimmed for t in trimmed)

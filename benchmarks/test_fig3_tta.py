@@ -1,0 +1,41 @@
+"""F3 — time-to-accuracy curves per trim rate (the headline figure).
+
+One panel per trim rate: top-1 accuracy as a function of modeled
+wall-clock time for the baseline and the four codecs.  Expected shapes
+(paper Figure 3): at low trim rates every codec tracks the baseline but
+pays encoding overhead; at high trim rates the sign codec flat-lines
+(the paper's divergence) while RHT is the only codec still reaching
+baseline-level accuracy.
+"""
+
+from repro.bench import ascii_chart, bench_scale, emit, fig3_tta, format_table
+
+
+def _render(panels):
+    for rate, series in sorted(panels.items()):
+        emit(f"\n[F3] top-1 accuracy vs wall-clock, trim rate {rate:.1%}")
+        emit(ascii_chart(series, x_label="modeled seconds", y_label="top-1"))
+        rows = [
+            [label, f"{pts[-1][0]:.1f}", f"{pts[-1][1]:.3f}"]
+            for label, pts in series.items()
+        ]
+        emit(format_table(["codec", "end time (s)", "final top-1"], rows))
+
+
+def test_fig3_tta(benchmark):
+    panels = benchmark.pedantic(fig3_tta, rounds=1, iterations=1)
+    _render(panels)
+
+    rates = sorted(panels)
+    high = panels[rates[-1]]  # the 50% panel
+    final = {label: pts[-1][1] for label, pts in high.items()}
+    # RHT is the only codec within reach of the baseline at 50% trim.
+    assert final["rht"] > final["baseline"] - 0.10
+    assert final["rht"] > final["sq"]
+    assert final["rht"] > final["sign"] + 0.2
+    # The sign codec collapses toward chance (1/50) at heavy trimming.
+    assert final["sign"] < 0.2
+    low = panels[rates[0]]
+    # At low trim rates every codec stays within a band of the baseline.
+    for label, pts in low.items():
+        assert pts[-1][1] > final["baseline"] - 0.2, label

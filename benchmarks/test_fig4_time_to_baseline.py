@@ -1,0 +1,29 @@
+"""F4 — time-to-baseline-accuracy vs trim rate.
+
+For every codec and trim rate: the modeled wall-clock time to reach the
+no-congestion baseline's accuracy band.  Expected shapes (paper
+Figure 4): at low trim rates all codecs are slower than the baseline
+(encoding overhead with nothing to gain); at medium rates the cheap
+scalar codecs beat RHT; at 50 % trim RHT is the only codec that still
+reaches the band at all.
+"""
+
+from repro.bench import bench_scale, emit, fig4_time_to_baseline, trim_rates
+
+
+def test_fig4_time_to_baseline(benchmark):
+    result = benchmark.pedantic(fig4_time_to_baseline, rounds=1, iterations=1)
+    emit("\n" + result.render())
+
+    rows = {(r[0], r[1]): r for r in result.rows}
+    top_rate = f"{trim_rates()[-1]:.1%}"
+
+    def reaches(rate, codec):
+        return "n/a" not in rows[(rate, codec)][2]
+
+    # At the highest trim rate RHT reaches the band; sign does not.
+    assert reaches(top_rate, "rht")
+    assert not reaches(top_rate, "sign")
+    # Sign fails (near-chance accuracy) at 50% — the divergence column.
+    assert rows[(top_rate, "sign")][5] == "yes"
+    assert rows[(top_rate, "rht")][5] == "no"

@@ -1,0 +1,23 @@
+"""T1 — transport drop tolerance (Section 4.4 in-text claims).
+
+On the discrete-event simulator: the go-back-N (NCCL/RoCE-like)
+baseline's flow completion time explodes between 1-2 % drops, while the
+trimming transport completes with zero retransmissions even when half
+of its packets are trimmed, staying near the clean completion time.
+"""
+
+from repro.bench import emit, t1_transport_drops
+
+
+def test_t1_transport_drops(benchmark):
+    result = benchmark.pedantic(t1_transport_drops, rounds=1, iterations=1)
+    emit("\n" + result.render())
+    gbn = [r for r in result.rows if r[0] == "go-back-N"]
+    trim = [r for r in result.rows if r[0] == "trimming"]
+    slow_at = {row[1]: float(row[3].rstrip("x")) for row in gbn}
+    assert slow_at["2.00%"] > 5.0  # 1-2% drops: 5-10x or worse
+    assert slow_at["0.20%"] < 5.0  # ~0.2% is tolerable by comparison
+    # Trimming transport: no retransmissions, FCT stays near clean GBN.
+    for row in trim:
+        assert row[4] == 0
+        assert float(row[3].rstrip("x")) < 3.0

@@ -1,0 +1,20 @@
+"""T2 — codec reconstruction quality vs trim rate.
+
+The quality mechanism behind Figure 3: per-codec NMSE under trimming on
+Gaussian and heavy-tailed inputs.  RHT should dominate at high trim
+rates, especially on heavy tails; the sign codec should be the worst
+there (its ±σ decode is what makes training fail).
+"""
+
+from repro.bench import emit, t2_codec_nmse
+
+
+def test_t2_codec_nmse(benchmark):
+    result = benchmark.pedantic(t2_codec_nmse, rounds=1, iterations=1)
+    emit("\n" + result.render())
+    # Heavy-tail rows: rht beats every scalar codec at full trim.
+    heavy_full = next(r for r in result.rows if r[0] == "heavy-tail" and r[1] == "100%")
+    sign_err, sq_err, sd_err, rht_err = (float(v) for v in heavy_full[2:])
+    assert rht_err < sign_err
+    assert rht_err < sq_err
+    assert rht_err < sd_err

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Distributed training under congestion: baseline vs trimmable codecs.
+
+A miniature of the paper's Figure 3 experiment: train the same model
+with the same hyper-parameters, varying only how gradients are
+aggregated — a perfect channel (no congestion), and each trimmable codec
+with 50% of its packets trimmed.  Prints final accuracy and the modeled
+wall-clock time per setup.
+
+Run:  python examples/distributed_training.py
+"""
+
+from repro import TrainConfig, TrimChannel, codec_by_name
+from repro.collectives import AllReduceHook
+from repro.nn import make_dataset, make_vgg
+from repro.train import DDPTrainer, RoundTimeModel, TimingConfig
+
+TRIM_RATE = 0.5
+EPOCHS = 8
+
+
+def make_model():
+    # BN-free VGG: heterogeneous per-layer gradient scales, like the
+    # paper's VGG-19 — the regime where codec choice matters most.
+    return make_vgg(
+        "vgg-mini", num_classes=50, image_size=12,
+        batch_norm=False, classifier_width=64, seed=1,
+    )
+
+
+def main() -> None:
+    print("generating the synthetic CIFAR-100 stand-in ...")
+    train_set, test_set = make_dataset(
+        num_classes=50, train_per_class=40, test_per_class=10,
+        image_size=12, noise=2.5, seed=0,
+    )
+    config = TrainConfig(
+        epochs=EPOCHS, batch_size=16, lr=0.05, momentum=0.9,
+        step_size=5, gamma=0.2, seed=0, augment=False,
+    )
+    time_model = RoundTimeModel(
+        TimingConfig(),
+        codec_ns_per_coord={"sign": 20, "sq": 35, "sd": 42, "rht": 95},
+    )
+
+    print(f"training {make_model().num_parameters():,}-parameter VGG, "
+          f"2 workers, {EPOCHS} epochs, trim rate {TRIM_RATE:.0%}\n")
+    print(f"{'setup':>16} | {'top-1':>6} | {'top-5':>6} | {'model-time':>10} | trimmed")
+    print("-" * 62)
+
+    setups = [("baseline (no trim)", None)] + [
+        (f"{name} @ {TRIM_RATE:.0%} trim", name) for name in ["sign", "sq", "sd", "rht"]
+    ]
+    for label, codec_name in setups:
+        if codec_name is None:
+            hook = AllReduceHook()
+        else:
+            kwargs = {"row_size": 4096} if codec_name == "rht" else {}
+            codec = codec_by_name(codec_name, root_seed=3, **kwargs)
+            hook = AllReduceHook(TrimChannel(codec, TRIM_RATE, seed=5))
+        trainer = DDPTrainer(
+            make_model(), train_set, test_set,
+            world_size=2, hook=hook, config=config,
+            time_model=time_model, codec_name=codec_name, trim_rate=TRIM_RATE,
+        )
+        history = trainer.train()
+        trim_frac = history.records[-1].trim_fraction
+        print(
+            f"{label:>16} | {history.final_top1:>6.3f} | {history.final_top5:>6.3f} "
+            f"| {history.total_time():>9.1f}s | {trim_frac:.1%}"
+        )
+
+    print()
+    print("expected shape (paper Fig. 3): at 50% trim the sign codec")
+    print("collapses toward chance, SQ/SD degrade, and RHT alone stays")
+    print("within reach of the uncongested baseline.")
+
+
+if __name__ == "__main__":
+    main()

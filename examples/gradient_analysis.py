@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Why the codecs behave the way they do: gradient statistics.
+
+Uses :mod:`repro.core.analysis` to show, on a real (small) model's
+gradients, the two facts that drive every training result in the paper:
+
+1. training gradients are **heavy-tailed** — the message-wide σ vastly
+   overstates the typical coordinate, so the sign codec's ±σ decode is
+   mostly noise;
+2. the **RHT rotation erases that structure** — after rotation, 1-bit
+   quantization error is the same no matter how ugly the input.
+
+Run:  python examples/gradient_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import codec_error_profile, heavy_tail_index, per_parameter_scales
+from repro.core.analysis import GAUSSIAN_TAIL_INDEX
+from repro.nn import Tensor, cross_entropy, make_dataset, make_vgg
+
+
+def main() -> None:
+    train, _ = make_dataset(
+        num_classes=50, train_per_class=10, test_per_class=2,
+        image_size=12, noise=2.5, seed=0,
+    )
+    model = make_vgg(
+        "vgg-mini", num_classes=50, image_size=12,
+        batch_norm=False, classifier_width=64, seed=1,
+    )
+    model.zero_grad()
+    loss = cross_entropy(model(Tensor(train.images[:64])), train.labels[:64])
+    loss.backward()
+    gradient = model.flat_gradient()
+
+    print("per-layer gradient scales (BN-free VGG — the paper's model family):")
+    for record in per_parameter_scales(model):
+        bar = "#" * int(min(40, record["rms"] * 200))
+        print(f"  param {record['index']:>2} {record['shape']:>18} "
+              f"rms={record['rms']:.2e} {bar}")
+
+    index = heavy_tail_index(gradient)
+    print(f"\nheavy-tail index sigma/E|v|: {index:.2f} "
+          f"(Gaussian would be {GAUSSIAN_TAIL_INDEX:.2f})")
+    print("the larger this is, the worse the sign codec's ±sigma decode.\n")
+
+    print("codec NMSE on this real gradient (per-coordinate trim rates):")
+    profile = codec_error_profile(gradient, trim_rates=(0.02, 0.1, 0.5, 1.0))
+    rates = (0.02, 0.1, 0.5, 1.0)
+    print(f"  {'codec':>6} | " + " | ".join(f"{r:>6.0%}" for r in rates))
+    print("  " + "-" * 48)
+    for name in ("sign", "sq", "sd", "rht", "eden"):
+        row = " | ".join(f"{profile[name][r]:6.3f}" for r in rates)
+        print(f"  {name:>6} | {row}")
+
+    print("\nrht/eden stay flat because the rotation gaussianizes first —")
+    print("exactly the Section 3.2 argument, measured on a live gradient.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: encode a gradient into trimmable packets, trim, decode.
+
+Walks the paper's core mechanism end to end:
+
+1. the Section 2 worked example (layout arithmetic);
+2. encoding a gradient with each 1-bit codec (sign / SQ / SD / RHT);
+3. trimming packets the way a congested switch would;
+4. decoding the surviving bytes and measuring reconstruction error.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    available_codecs,
+    codec_by_name,
+    decode_packets,
+    nmse,
+    packetize,
+    paper_worked_example,
+)
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Section 2 worked example")
+    print("=" * 70)
+    layout = paper_worked_example()
+    print(f"  {layout.describe()}")
+    print(f"  (paper: n=365 coordinates, trim at 87 bytes, 94.2% compression)")
+
+    print()
+    print("=" * 70)
+    print("Trimmable codecs under a congested switch")
+    print("=" * 70)
+    rng = np.random.default_rng(7)
+    # A gradient-like heavy-tailed vector: mostly small coordinates with
+    # a few large ones, the regime where codec choice matters.
+    gradient = rng.standard_t(df=3, size=100_000)
+    print(f"  gradient: {gradient.size} coordinates, sigma={gradient.std():.3f}")
+    print(f"  codecs:   {available_codecs()}")
+    print()
+    print(f"  {'codec':>6} | {'packets':>7} | {'trimmed':>7} | {'bytes kept':>10} | NMSE")
+    print("  " + "-" * 56)
+
+    for name in ["sign", "sq", "sd", "rht"]:
+        codec = codec_by_name(name, root_seed=42)
+        encoded = codec.encode(gradient, epoch=1, message_id=1)
+        packets = packetize(encoded, src="gpu0", dst="gpu1")
+
+        # A congested switch trims 60% of the data packets (the metadata
+        # packet travels reliably and is never trimmed).
+        trim_rng = np.random.default_rng(3)
+        wire = [packets[0]]
+        trimmed_count = 0
+        for pkt in packets[1:]:
+            if trim_rng.random() < 0.6 and pkt.trimmable_bytes() is not None:
+                wire.append(pkt.trim())
+                trimmed_count += 1
+            else:
+                wire.append(pkt)
+
+        decoded = decode_packets(wire, codec)
+        bytes_kept = sum(p.wire_size for p in wire)
+        error = nmse(gradient, decoded)
+        print(
+            f"  {name:>6} | {len(packets) - 1:>7} | {trimmed_count:>7} "
+            f"| {bytes_kept:>10,} | {error:.4f}"
+        )
+
+    print()
+    print("  RHT's rotation spreads the damage of trimming evenly, which is")
+    print("  why it wins at high trim rates despite costing more to encode.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Paper-scale fidelity check: a real VGG-19 gradient message.
+
+Builds the actual VGG-19 architecture the paper trains (~20 M
+parameters, no BatchNorm), takes one synthetic gradient of exactly that
+size, and pushes it through the full trimmable pipeline at the paper's
+parameters: rows of 2^15 for the RHT, MTU-sized packets, 1-bit heads.
+Prints the wire-level numbers a deployment would see.
+
+This is the one example that runs at the paper's full scale — expect
+about a minute of numpy; everything else in `examples/` is scaled down.
+
+Run:  python examples/vgg19_message.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import RHTCodec, nmse, packetize
+from repro.core import decode_packets
+from repro.nn import make_vgg
+
+
+def main() -> None:
+    print("building VGG-19 (the paper's model) ...")
+    model = make_vgg("vgg19", num_classes=100, image_size=32, batch_norm=False, seed=0)
+    num_coords = model.num_parameters()
+    print(f"  parameters: {num_coords:,} (~{num_coords * 4 / 1e6:.0f} MB of fp32 gradient)")
+
+    # A synthetic gradient with realistic heavy tails.
+    rng = np.random.default_rng(0)
+    gradient = rng.standard_t(df=3, size=num_coords)
+
+    codec = RHTCodec(root_seed=7, row_size=2**15)  # the paper's row size
+    start = time.perf_counter()
+    encoded = codec.encode(gradient, epoch=1, message_id=1)
+    encode_s = time.perf_counter() - start
+    print(f"  RHT encode ({encoded.length:,} padded coords, "
+          f"{encoded.length // 2**15} rows of 2^15): {encode_s:.2f}s on CPU")
+    print(f"  metadata side-channel: {encoded.metadata.wire_bytes} B "
+          f"({encoded.metadata.row_scales.size} row scales) — one reliable packet")
+
+    packets = packetize(encoded, "gpu0", "gpu1")
+    data = packets[1:]
+    full_bytes = sum(p.wire_size for p in data)
+    print(f"  data packets: {len(data):,} x {data[0].wire_size} B "
+          f"= {full_bytes / 1e6:.1f} MB on the wire")
+
+    for trim_rate in [0.0, 0.1, 0.5]:
+        trim_rng = np.random.default_rng(3)
+        wire = [packets[0]]
+        for pkt in data:
+            if trim_rate and trim_rng.random() < trim_rate:
+                wire.append(pkt.trim())
+            else:
+                wire.append(pkt)
+        wire_bytes = sum(p.wire_size for p in wire)
+        start = time.perf_counter()
+        decoded = decode_packets(wire, codec)
+        decode_s = time.perf_counter() - start
+        error = nmse(gradient, decoded)
+        print(f"  trim {trim_rate:>4.0%}: {wire_bytes / 1e6:6.1f} MB delivered, "
+              f"NMSE {error:.4f}, decode {decode_s:.2f}s")
+
+    print()
+    print("the 50% row is the paper's headline operating point: roughly half")
+    print("the bytes, a bounded gradient error, and zero retransmissions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The sandboxed environment has no ``wheel`` package and no network, so
+PEP 660 editable installs fail; ``pip install -e . --no-use-pep517``
+takes the legacy path through this file instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""Trimmable gradients: just-in-time gradient compression via packet trimming.
+
+Reproduction of Chen, Vargaftik & Ben Basat (HotNets '24).  The package
+is organized as:
+
+* :mod:`repro.core` — the paper's contribution: trimmable two-part
+  gradient codecs (sign / SQ / SD / RHT), multi-level tiered codes, and
+  the heads-first packet layout.
+* :mod:`repro.transforms` — fast Walsh-Hadamard transform and shared-
+  randomness streams.
+* :mod:`repro.packet` — wire formats, bit packing, and trim policies.
+* :mod:`repro.net` — a discrete-event network simulator with
+  trim-on-overflow shallow-buffer switches.
+* :mod:`repro.transport` — go-back-N (NCCL-like) and trimming-aware
+  (NDP-like) transports with congestion control.
+* :mod:`repro.collectives` — all-reduce / all-gather over pluggable
+  gradient channels, DDP-style comm hooks.
+* :mod:`repro.nn` — a numpy autograd training substrate (VGG-style
+  models, SGD+momentum, synthetic CIFAR-100-like data).
+* :mod:`repro.train` — distributed trainers, the Bernoulli trim channel
+  of the paper's evaluation, the wall-clock cost model, trim-transcript
+  replay, and FSDP.
+* :mod:`repro.baselines` — TernGrad, Top-K, PowerSGD comparisons.
+
+Quickstart::
+
+    import numpy as np
+    from repro import RHTCodec, packetize, decode_packets, nmse
+
+    gradient = np.random.default_rng(0).standard_normal(100_000)
+    codec = RHTCodec(root_seed=7)
+    packets = packetize(codec.encode(gradient), "gpu0", "gpu1")
+    wire = [packets[0]] + [p.trim() for p in packets[1:]]  # congested!
+    estimate = decode_packets(wire, codec)
+    print(f"NMSE after trimming every packet: {nmse(gradient, estimate):.3f}")
+"""
+
+from .core import (
+    EncodedGradient,
+    GradientCodec,
+    GradientMetadata,
+    MultiLevelCodec,
+    RHTCodec,
+    SignMagnitudeCodec,
+    StochasticQuantizationCodec,
+    SubtractiveDitheringCodec,
+    TrimmableLayout,
+    available_codecs,
+    codec_by_id,
+    codec_by_name,
+    decode_packets,
+    depacketize,
+    nmse,
+    packetize,
+    paper_worked_example,
+)
+from .packet import GradientHeader, MultiLevelTrim, NeverTrim, Packet, SingleLevelTrim
+from .train import (
+    DDPTrainer,
+    FSDPTrainer,
+    RoundTimeModel,
+    TimingConfig,
+    TrainConfig,
+    TrimChannel,
+    TrimTranscript,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "EncodedGradient",
+    "GradientCodec",
+    "GradientMetadata",
+    "MultiLevelCodec",
+    "RHTCodec",
+    "SignMagnitudeCodec",
+    "StochasticQuantizationCodec",
+    "SubtractiveDitheringCodec",
+    "TrimmableLayout",
+    "available_codecs",
+    "codec_by_id",
+    "codec_by_name",
+    "decode_packets",
+    "depacketize",
+    "nmse",
+    "packetize",
+    "paper_worked_example",
+    "GradientHeader",
+    "MultiLevelTrim",
+    "NeverTrim",
+    "Packet",
+    "SingleLevelTrim",
+    "DDPTrainer",
+    "FSDPTrainer",
+    "RoundTimeModel",
+    "TimingConfig",
+    "TrainConfig",
+    "TrimChannel",
+    "TrimTranscript",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Comparison codecs: ahead-of-time compression baselines (Section 5.2)."""
+
+from .powersgd import PowerSGDChannel, PowerSGDCompressor
+from .terngrad import TernGradChannel, TernGradCompressor
+from .topk import SparsifiedTrimmableChannel, TopKChannel, topk_sparsify
+
+__all__ = [
+    "PowerSGDChannel",
+    "PowerSGDCompressor",
+    "TernGradChannel",
+    "TernGradCompressor",
+    "SparsifiedTrimmableChannel",
+    "TopKChannel",
+    "topk_sparsify",
+]

@@ -1,0 +1,82 @@
+"""TernGrad ternary gradient quantization (Wen et al., NeurIPS'17).
+
+The ahead-of-time compression baseline the paper's SQ codec borrows its
+clipping rule from (``L = 2.5σ``).  Each coordinate is quantized to
+``{-L, 0, +L}``: zero with probability ``1 - |v|/L`` and ``sign(v)·L``
+otherwise, which is unbiased for clipped inputs.  Unlike the trimmable
+codecs, TernGrad fixes its compression ratio at the sender — it cannot
+react to in-network congestion, which is exactly the gap the paper's
+just-in-time design fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..collectives.channel import GradientChannel
+from ..transforms.prng import shared_generator
+
+__all__ = ["TernGradCompressor", "TernGradChannel"]
+
+
+@dataclass
+class TernGradEncoded:
+    """Ternary codes plus the scale needed to decode."""
+
+    codes: np.ndarray  # int8 in {-1, 0, +1}
+    scale: float
+    length: int
+
+    @property
+    def wire_bits(self) -> int:
+        """Ternary codes cost ~1.58 bits; TernGrad ships 2 bits each."""
+        return 2 * self.length + 32
+
+
+class TernGradCompressor:
+    """Encoder/decoder pair for ternary gradients."""
+
+    def __init__(self, root_seed: int = 0, clip_multiplier: float = 2.5) -> None:
+        self.root_seed = root_seed
+        self.clip_multiplier = clip_multiplier
+
+    def encode(
+        self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0
+    ) -> TernGradEncoded:
+        flat = np.asarray(flat, dtype=np.float64).reshape(-1)
+        sigma = float(np.std(flat))
+        scale = self.clip_multiplier * sigma
+        if scale == 0.0:
+            return TernGradEncoded(
+                codes=np.zeros(flat.size, dtype=np.int8), scale=0.0, length=flat.size
+            )
+        clipped = np.clip(flat, -scale, scale)
+        keep_prob = np.abs(clipped) / scale
+        gen = shared_generator(self.root_seed, epoch, message_id, purpose="quantize")
+        keep = gen.random(flat.size) < keep_prob
+        codes = (np.sign(clipped) * keep).astype(np.int8)
+        return TernGradEncoded(codes=codes, scale=scale, length=flat.size)
+
+    def decode(self, enc: TernGradEncoded) -> np.ndarray:
+        return enc.codes.astype(np.float64) * enc.scale
+
+
+class TernGradChannel(GradientChannel):
+    """Gradient channel applying TernGrad end to end (no trimming)."""
+
+    def __init__(self, root_seed: int = 0, clip_multiplier: float = 2.5) -> None:
+        super().__init__()
+        self.compressor = TernGradCompressor(root_seed, clip_multiplier)
+
+    def transfer(
+        self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0, worker: int = 0
+    ) -> np.ndarray:
+        enc = self.compressor.encode(
+            flat, epoch=epoch, message_id=message_id * 131 + worker
+        )
+        self.stats.messages += 1
+        self.stats.coordinates += enc.length
+        self.stats.bytes_sent += enc.wire_bits // 8
+        return self.compressor.decode(enc)

@@ -1,0 +1,116 @@
+"""Top-K magnitude sparsification (MLT-style, paper Sections 2 & 5.2).
+
+Keep the K largest-magnitude coordinates, drop the rest — MLT's
+observation is that training tolerates discarding the smallest ~20 %
+outright.  Supports error feedback (the classic fix for sparsification
+bias: dropped mass is carried into the next round).
+
+Also provides :class:`SparsifiedTrimmableChannel`, the Section 5.3
+combination: sparsify *ahead of time* according to the congestion-control
+budget, then send the survivors through an RHT trimmable encoding so the
+network can still compress *just in time*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..collectives.channel import GradientChannel
+from ..core.rht import RHTCodec
+from ..train.trim_channel import TrimChannel
+
+__all__ = ["topk_sparsify", "TopKChannel", "SparsifiedTrimmableChannel"]
+
+
+def topk_sparsify(flat: np.ndarray, keep_fraction: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (indices, values) of the ``keep_fraction`` largest coords."""
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+    flat = np.asarray(flat, dtype=np.float64).reshape(-1)
+    k = max(1, int(round(flat.size * keep_fraction)))
+    if k >= flat.size:
+        return np.arange(flat.size), flat.copy()
+    indices = np.argpartition(-np.abs(flat), kth=k - 1)[:k]
+    indices = np.sort(indices)
+    return indices, flat[indices]
+
+
+class TopKChannel(GradientChannel):
+    """Ahead-of-time sparsification channel with optional error feedback.
+
+    Error feedback keeps a per-worker residual of the dropped mass and
+    adds it back before the next round's selection — without it, Top-K is
+    biased and stalls exactly like the sign codec does under trimming.
+    """
+
+    def __init__(self, keep_fraction: float = 0.2, error_feedback: bool = True) -> None:
+        super().__init__()
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+        self.keep_fraction = keep_fraction
+        self.error_feedback = error_feedback
+        self._residuals: Dict[int, np.ndarray] = {}
+
+    def transfer(
+        self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0, worker: int = 0
+    ) -> np.ndarray:
+        flat = np.asarray(flat, dtype=np.float64).reshape(-1)
+        if self.error_feedback:
+            residual = self._residuals.get(worker)
+            if residual is not None and residual.size == flat.size:
+                flat = flat + residual
+        indices, values = topk_sparsify(flat, self.keep_fraction)
+        delivered = np.zeros_like(flat)
+        delivered[indices] = values
+        if self.error_feedback:
+            self._residuals[worker] = flat - delivered
+        self.stats.messages += 1
+        self.stats.coordinates += flat.size
+        # Wire cost: 4-byte index + 4-byte value per survivor.
+        self.stats.bytes_sent += indices.size * 8
+        return delivered
+
+
+class SparsifiedTrimmableChannel(GradientChannel):
+    """Section 5.3: ahead-of-time Top-K + just-in-time RHT trimming.
+
+    The sender discards coordinates per the congestion-control budget
+    (``keep_fraction``), then transmits the dense vector of survivors
+    with the RHT trimmable encoding; unpredictable congestion can still
+    trim any fraction of the remaining packets.
+    """
+
+    def __init__(
+        self,
+        keep_fraction: float = 0.2,
+        trim_rate: float = 0.0,
+        codec: Optional[RHTCodec] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.topk = TopKChannel(keep_fraction, error_feedback=True)
+        self.trim = TrimChannel(codec or RHTCodec(root_seed=seed), trim_rate, seed=seed)
+
+    def transfer(
+        self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0, worker: int = 0
+    ) -> np.ndarray:
+        sparse = self.topk.transfer(
+            flat, epoch=epoch, message_id=message_id, worker=worker
+        )
+        indices = np.flatnonzero(sparse)
+        if indices.size == 0:
+            return sparse
+        values = sparse[indices]
+        delivered_values = self.trim.transfer(
+            values, epoch=epoch, message_id=message_id, worker=worker
+        )
+        out = np.zeros_like(sparse)
+        out[indices] = delivered_values
+        self.stats.messages += 1
+        self.stats.coordinates += flat.size
+        self.stats.bytes_sent = self.topk.stats.bytes_sent  # indices
+        self.stats.packets_total = self.trim.stats.packets_total
+        self.stats.packets_trimmed = self.trim.stats.packets_trimmed
+        return out

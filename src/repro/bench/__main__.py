@@ -1,0 +1,87 @@
+"""Command-line experiment runner: ``python -m repro.bench <experiment>``.
+
+Regenerates any paper figure/table without pytest::
+
+    python -m repro.bench f2            # Section 2 layout example
+    python -m repro.bench t2            # codec NMSE vs trim rate
+    python -m repro.bench fig5          # per-round time breakdown
+    python -m repro.bench t1            # transport drop tolerance
+    python -m repro.bench fig3 --scale full
+    python -m repro.bench fig4
+    python -m repro.bench all           # everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .harness import ascii_chart, format_table
+
+
+def _print_fig3(scale: str) -> None:
+    from .experiments import fig3_tta
+
+    panels = fig3_tta(scale)
+    for rate, series in sorted(panels.items()):
+        print(f"\n[F3] top-1 accuracy vs modeled wall-clock, trim rate {rate:.1%}")
+        print(ascii_chart(series, x_label="seconds", y_label="top-1"))
+        rows = [
+            [label, f"{pts[-1][0]:.1f}", f"{pts[-1][1]:.3f}"]
+            for label, pts in series.items()
+        ]
+        print(format_table(["codec", "end time (s)", "final top-1"], rows))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["f2", "t2", "fig5", "t1", "fig3", "fig4", "all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "full"],
+        default=None,
+        help="sweep size (default: REPRO_BENCH_SCALE or 'quick')",
+    )
+    args = parser.parse_args(argv)
+    if args.scale:
+        os.environ["REPRO_BENCH_SCALE"] = args.scale
+    scale = args.scale or os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+    from .experiments import (
+        f2_layout,
+        fig4_time_to_baseline,
+        fig5_breakdown,
+        t1_transport_drops,
+        t2_codec_nmse,
+    )
+
+    simple = {
+        "f2": f2_layout,
+        "t2": t2_codec_nmse,
+        "fig5": fig5_breakdown,
+        "t1": lambda: t1_transport_drops(scale),
+        "fig4": lambda: fig4_time_to_baseline(scale),
+    }
+    wanted = (
+        ["f2", "t2", "fig5", "t1", "fig3", "fig4"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in wanted:
+        if name == "fig3":
+            _print_fig3(scale)
+        else:
+            print("\n" + simple[name]().render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

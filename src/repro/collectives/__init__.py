@@ -1,0 +1,20 @@
+"""Collective-communication substrate (the *ccl of the paper)."""
+
+from .channel import ChannelStats, GradientChannel, PerfectChannel
+from .hooks import AllReduceHook, CommHook, RingAllReduceHook, bucket_bounds
+from .ring import all_gather, allreduce_mean, broadcast, reduce_scatter, ring_allreduce
+
+__all__ = [
+    "ChannelStats",
+    "GradientChannel",
+    "PerfectChannel",
+    "AllReduceHook",
+    "CommHook",
+    "RingAllReduceHook",
+    "bucket_bounds",
+    "all_gather",
+    "allreduce_mean",
+    "broadcast",
+    "reduce_scatter",
+    "ring_allreduce",
+]

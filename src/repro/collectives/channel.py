@@ -1,0 +1,85 @@
+"""Gradient channels: how one worker's message crosses the network.
+
+The paper's prototype hooks PyTorch DDP's gradient-aggregation step and
+simulates congestion by probabilistically trimming the gradient stream.
+A :class:`GradientChannel` is exactly that pluggable seam: collectives
+push each flat float vector through a channel, and the channel decides what
+the far side receives — unchanged (:class:`PerfectChannel`), or
+compressed by a codec + Bernoulli packet trimming
+(:class:`repro.train.TrimChannel`), or routed through the full
+discrete-event network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+__all__ = ["ChannelStats", "GradientChannel", "PerfectChannel"]
+
+
+@dataclass
+class ChannelStats:
+    """Byte and packet accounting for everything a channel carried."""
+
+    messages: int = 0
+    coordinates: int = 0
+    packets_total: int = 0
+    packets_trimmed: int = 0
+    packets_dropped: int = 0
+    bytes_sent: int = 0
+    bytes_saved_by_trim: int = 0
+    encode_seconds: float = 0.0
+    decode_seconds: float = 0.0
+
+    @property
+    def trim_fraction(self) -> float:
+        """Fraction of data packets that were trimmed."""
+        if self.packets_total == 0:
+            return 0.0
+        return self.packets_trimmed / self.packets_total
+
+    def merge(self, other: "ChannelStats") -> None:
+        self.messages += other.messages
+        self.coordinates += other.coordinates
+        self.packets_total += other.packets_total
+        self.packets_trimmed += other.packets_trimmed
+        self.packets_dropped += other.packets_dropped
+        self.bytes_sent += other.bytes_sent
+        self.bytes_saved_by_trim += other.bytes_saved_by_trim
+        self.encode_seconds += other.encode_seconds
+        self.decode_seconds += other.decode_seconds
+
+
+class GradientChannel:
+    """Interface: transfer one flat vector from a worker to its peer."""
+
+    def __init__(self) -> None:
+        self.stats = ChannelStats()
+
+    def transfer(
+        self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0, worker: int = 0
+    ) -> np.ndarray:
+        """Deliver ``flat``; returns what the receiver decodes.
+
+        ``epoch``/``message_id`` derive shared randomness (rotation seeds,
+        dither); ``worker`` separates the trim pattern of different
+        senders in the same round.
+        """
+        raise NotImplementedError
+
+    def reset_stats(self) -> None:
+        self.stats = ChannelStats()
+
+
+class PerfectChannel(GradientChannel):
+    """Lossless, compression-free delivery (the NCCL-quality baseline)."""
+
+    def transfer(
+        self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0, worker: int = 0
+    ) -> np.ndarray:
+        flat = np.asarray(flat, dtype=np.float64)
+        self.stats.messages += 1
+        self.stats.coordinates += flat.size
+        self.stats.bytes_sent += flat.size * 4  # fp32 on the wire
+        return flat.copy()

@@ -1,0 +1,192 @@
+"""Collective operations over gradient channels.
+
+Two aggregation strategies, both returning the element-wise mean:
+
+* :func:`allreduce_mean` — every worker's full gradient crosses the
+  channel once and the receiver averages.  This is exactly the paper's
+  evaluation methodology (trimming applied to each worker's message).
+* :func:`ring_allreduce` — the classic bandwidth-optimal ring: a
+  reduce-scatter pass followed by an all-gather pass, each of the
+  ``2·(N-1)·N`` chunk hops crossing the channel independently.  Useful
+  for studying how compression error compounds along the ring.
+
+Plus :func:`all_gather` and :func:`reduce_scatter` (FSDP's primitives)
+and :func:`broadcast`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .channel import GradientChannel, PerfectChannel
+
+__all__ = [
+    "allreduce_mean",
+    "ring_allreduce",
+    "all_gather",
+    "reduce_scatter",
+    "broadcast",
+]
+
+
+def _check_same_shape(tensors: List[np.ndarray]) -> int:
+    if not tensors:
+        raise ValueError("collective needs at least one tensor")
+    length = tensors[0].size
+    for i, t in enumerate(tensors):
+        if t.ndim != 1:
+            raise ValueError(f"worker {i}: collectives operate on flat vectors")
+        if t.size != length:
+            raise ValueError(f"worker {i}: length {t.size} != {length}")
+    return length
+
+
+def allreduce_mean(
+    tensors: List[np.ndarray],
+    channel: Optional[GradientChannel] = None,
+    epoch: int = 0,
+    message_id: int = 0,
+) -> np.ndarray:
+    """Mean of all workers' vectors, each crossing the channel once."""
+    channel = channel or PerfectChannel()
+    _check_same_shape(tensors)
+    received = [
+        channel.transfer(t, epoch=epoch, message_id=message_id, worker=rank)
+        for rank, t in enumerate(tensors)
+    ]
+    return np.mean(received, axis=0)
+
+
+def ring_allreduce(
+    tensors: List[np.ndarray],
+    channel: Optional[GradientChannel] = None,
+    epoch: int = 0,
+    message_id: int = 0,
+) -> List[np.ndarray]:
+    """Bandwidth-optimal ring all-reduce returning each rank's mean copy.
+
+    The vector is split into N chunks.  In reduce-scatter step ``s``,
+    rank ``r`` sends chunk ``(r - s) mod N`` to rank ``r+1``, which adds
+    it to its local accumulator; after N-1 steps each rank owns the full
+    sum of one chunk.  The all-gather phase circulates the finished
+    chunks.  Every hop crosses the channel (and may be compressed).
+    """
+    channel = channel or PerfectChannel()
+    length = _check_same_shape(tensors)
+    world = len(tensors)
+    if world == 1:
+        return [tensors[0].astype(np.float64)]
+    bounds = np.linspace(0, length, world + 1).astype(int)
+    chunks = [
+        [t[bounds[c] : bounds[c + 1]].astype(np.float64) for c in range(world)]
+        for t in tensors
+    ]  # chunks[rank][chunk_index]
+    hop = 0
+    # Reduce-scatter: after this, chunks[r][(r+1) mod N] holds the full sum.
+    for step in range(world - 1):
+        sends = []
+        for rank in range(world):
+            c = (rank - step) % world
+            sends.append((rank, c, chunks[rank][c]))
+        for rank, c, payload in sends:
+            peer = (rank + 1) % world
+            delivered = channel.transfer(
+                payload, epoch=epoch, message_id=message_id * 1000 + hop, worker=rank
+            )
+            chunks[peer][c] = chunks[peer][c] + delivered
+            hop += 1
+    # All-gather: circulate each finished chunk around the ring.
+    for step in range(world - 1):
+        sends = []
+        for rank in range(world):
+            c = (rank + 1 - step) % world
+            sends.append((rank, c, chunks[rank][c]))
+        for rank, c, payload in sends:
+            peer = (rank + 1) % world
+            delivered = channel.transfer(
+                payload, epoch=epoch, message_id=message_id * 1000 + hop, worker=rank
+            )
+            chunks[peer][c] = delivered
+            hop += 1
+    return [np.concatenate(chunks[rank]) / world for rank in range(world)]
+
+
+def all_gather(
+    shards: List[np.ndarray],
+    channel: Optional[GradientChannel] = None,
+    epoch: int = 0,
+    message_id: int = 0,
+) -> List[np.ndarray]:
+    """Each rank receives the concatenation of every rank's shard.
+
+    FSDP's weight-gather step: shard ``r`` crosses the channel once per
+    receiving peer (rank ``r`` keeps its own shard exact).
+    """
+    channel = channel or PerfectChannel()
+    world = len(shards)
+    gathered: List[np.ndarray] = []
+    for receiver in range(world):
+        parts = []
+        for sender, shard in enumerate(shards):
+            if sender == receiver:
+                parts.append(np.asarray(shard, dtype=np.float64))
+            else:
+                parts.append(
+                    channel.transfer(
+                        shard,
+                        epoch=epoch,
+                        message_id=message_id * 1000 + sender,
+                        worker=sender * world + receiver,
+                    )
+                )
+        gathered.append(np.concatenate(parts))
+    return gathered
+
+
+def reduce_scatter(
+    tensors: List[np.ndarray],
+    channel: Optional[GradientChannel] = None,
+    epoch: int = 0,
+    message_id: int = 0,
+) -> List[np.ndarray]:
+    """Rank ``r`` receives the mean of everyone's r-th chunk."""
+    channel = channel or PerfectChannel()
+    length = _check_same_shape(tensors)
+    world = len(tensors)
+    bounds = np.linspace(0, length, world + 1).astype(int)
+    outputs: List[np.ndarray] = []
+    for receiver in range(world):
+        lo, hi = bounds[receiver], bounds[receiver + 1]
+        acc = np.zeros(hi - lo)
+        for sender, tensor in enumerate(tensors):
+            chunk = tensor[lo:hi]
+            if sender == receiver:
+                acc += chunk
+            else:
+                acc += channel.transfer(
+                    chunk,
+                    epoch=epoch,
+                    message_id=message_id * 1000 + sender,
+                    worker=sender * world + receiver,
+                )
+        outputs.append(acc / world)
+    return outputs
+
+
+def broadcast(
+    tensor: np.ndarray,
+    world: int,
+    channel: Optional[GradientChannel] = None,
+    epoch: int = 0,
+    message_id: int = 0,
+) -> List[np.ndarray]:
+    """Rank 0's vector delivered to every rank (rank 0 keeps it exact)."""
+    channel = channel or PerfectChannel()
+    outputs = [np.asarray(tensor, dtype=np.float64)]
+    for receiver in range(1, world):
+        outputs.append(
+            channel.transfer(tensor, epoch=epoch, message_id=message_id, worker=receiver)
+        )
+    return outputs

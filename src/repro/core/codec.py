@@ -1,0 +1,222 @@
+"""Gradient codec interface and registry.
+
+A *codec* turns a flat gradient vector into the two-part trimmable
+encoding of Section 2/3: per-coordinate ``P``-bit **heads** (the
+standalone compressed form that survives trimming) and ``Q``-bit
+**tails** (the refinement that restores full precision), plus the
+reliable :class:`~repro.core.metadata.GradientMetadata` side-channel.
+
+Decoding takes a per-coordinate *trimmed mask* — which coordinates
+arrived head-only — so the same codec serves both the fast array-level
+simulation used for training experiments (exactly the paper's own
+methodology) and real packet-level decode via the packetizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Type
+
+import numpy as np
+
+from .metadata import GradientMetadata
+
+__all__ = [
+    "EncodedGradient",
+    "GradientCodec",
+    "register_codec",
+    "codec_by_name",
+    "codec_by_id",
+    "available_codecs",
+    "float32_sign_bits",
+    "float32_rest_bits",
+    "compose_float32",
+    "nmse",
+]
+
+
+@dataclass
+class EncodedGradient:
+    """Output of :meth:`GradientCodec.encode`.
+
+    Attributes:
+        codec_id: registry id of the producing codec.
+        head_bits: bits per coordinate in the head plane (``P``).
+        tail_bits: bits per coordinate in the tail plane (``Q``).
+        length: number of *encoded* coordinates (RHT codecs encode the
+            padded rotated rows, so this can exceed the original length).
+        heads: per-coordinate head codes, uint32, values < 2**head_bits.
+        tails: per-coordinate tail codes, uint32, values < 2**tail_bits.
+        metadata: the reliable side-channel (σ / L / row scales / seed).
+    """
+
+    codec_id: int
+    head_bits: int
+    tail_bits: int
+    length: int
+    heads: np.ndarray
+    tails: np.ndarray
+    metadata: GradientMetadata
+
+    def __post_init__(self) -> None:
+        if self.heads.shape != (self.length,):
+            raise ValueError(f"heads shape {self.heads.shape} != ({self.length},)")
+        if self.tails.shape != (self.length,):
+            raise ValueError(f"tails shape {self.tails.shape} != ({self.length},)")
+
+    @property
+    def full_bits(self) -> int:
+        """Bits per coordinate when nothing is trimmed."""
+        return self.head_bits + self.tail_bits
+
+    @property
+    def payload_bytes(self) -> int:
+        """Untrimmed payload size (heads + tails planes), in bytes."""
+        return -(-self.length * self.full_bits // 8)
+
+
+class GradientCodec:
+    """Base class for trimmable gradient codecs.
+
+    Subclasses set ``name``, ``codec_id``, ``head_bits`` and ``tail_bits``
+    and implement :meth:`encode` / :meth:`decode`.
+    """
+
+    name: str = "abstract"
+    codec_id: int = 0
+    head_bits: int = 1
+    tail_bits: int = 31
+
+    def encode(
+        self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0
+    ) -> EncodedGradient:
+        """Encode a flat float vector into heads + tails + metadata."""
+        raise NotImplementedError
+
+    def decode(
+        self,
+        enc: EncodedGradient,
+        trimmed: Optional[np.ndarray] = None,
+        missing: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Decode; ``trimmed[i]`` marks coordinates received head-only.
+
+        ``trimmed=None`` means nothing was trimmed.  ``missing[i]`` marks
+        coordinates whose packet was dropped entirely — they decode to the
+        zero-information estimate (0, applied *before* any inverse
+        rotation).  Returns a float64 vector of the *original* length.
+        """
+        raise NotImplementedError
+
+    # -- helpers shared by subclasses -------------------------------------
+
+    @staticmethod
+    def _check_finite(flat: np.ndarray) -> np.ndarray:
+        """Reject NaN/inf inputs with a clear error.
+
+        A non-finite gradient (diverged training, bad loss scaling) would
+        otherwise poison σ / scales and decode into silent garbage.
+        """
+        flat = np.asarray(flat, dtype=np.float64).reshape(-1)
+        if flat.size == 0:
+            raise ValueError("cannot encode an empty gradient")
+        if not np.all(np.isfinite(flat)):
+            bad = int((~np.isfinite(flat)).sum())
+            raise ValueError(
+                f"gradient contains {bad} non-finite values; refusing to encode"
+            )
+        return flat
+
+    def _check_encoded(self, enc: EncodedGradient) -> None:
+        if enc.codec_id != self.codec_id:
+            raise ValueError(
+                f"{self.name} codec cannot decode codec_id={enc.codec_id} "
+                f"(expected {self.codec_id})"
+            )
+
+    @staticmethod
+    def _trimmed_mask(enc: EncodedGradient, trimmed: Optional[np.ndarray]) -> np.ndarray:
+        if trimmed is None:
+            return np.zeros(enc.length, dtype=bool)
+        trimmed = np.asarray(trimmed, dtype=bool).reshape(-1)
+        if trimmed.shape != (enc.length,):
+            raise ValueError(f"trimmed mask shape {trimmed.shape} != ({enc.length},)")
+        return trimmed
+
+    @staticmethod
+    def _missing_mask(enc: EncodedGradient, missing: Optional[np.ndarray]) -> np.ndarray:
+        if missing is None:
+            return np.zeros(enc.length, dtype=bool)
+        missing = np.asarray(missing, dtype=bool).reshape(-1)
+        if missing.shape != (enc.length,):
+            raise ValueError(f"missing mask shape {missing.shape} != ({enc.length},)")
+        return missing
+
+
+# -- registry ---------------------------------------------------------------
+
+_BY_NAME: Dict[str, Callable[..., GradientCodec]] = {}
+_BY_ID: Dict[int, Callable[..., GradientCodec]] = {}
+
+
+def register_codec(cls: Type[GradientCodec]) -> Type[GradientCodec]:
+    """Class decorator adding a codec to the by-name / by-id registry."""
+    if cls.name in _BY_NAME:
+        raise ValueError(f"codec name {cls.name!r} already registered")
+    if cls.codec_id in _BY_ID:
+        raise ValueError(f"codec id {cls.codec_id} already registered")
+    _BY_NAME[cls.name] = cls
+    _BY_ID[cls.codec_id] = cls
+    return cls
+
+
+def codec_by_name(name: str, **kwargs) -> GradientCodec:
+    """Instantiate a registered codec by name (e.g. ``"rht"``)."""
+    if name not in _BY_NAME:
+        raise KeyError(f"unknown codec {name!r}; available: {available_codecs()}")
+    return _BY_NAME[name](**kwargs)
+
+
+def codec_by_id(codec_id: int, **kwargs) -> GradientCodec:
+    """Instantiate a registered codec by wire id."""
+    if codec_id not in _BY_ID:
+        raise KeyError(f"unknown codec id {codec_id}")
+    return _BY_ID[codec_id](**kwargs)
+
+
+def available_codecs() -> list[str]:
+    """Registered codec names."""
+    return sorted(_BY_NAME)
+
+
+# -- float32 bit surgery ------------------------------------------------------
+
+
+def float32_sign_bits(values: np.ndarray) -> np.ndarray:
+    """Sign bit of each float32 (1 = negative), as uint32."""
+    bits = np.asarray(values, dtype=np.float32).view(np.uint32)
+    return (bits >> np.uint32(31)) & np.uint32(1)
+
+
+def float32_rest_bits(values: np.ndarray) -> np.ndarray:
+    """Exponent + mantissa (low 31 bits) of each float32, as uint32."""
+    bits = np.asarray(values, dtype=np.float32).view(np.uint32)
+    return bits & np.uint32(0x7FFFFFFF)
+
+
+def compose_float32(sign_bits: np.ndarray, rest_bits: np.ndarray) -> np.ndarray:
+    """Rebuild float32 values from sign and exponent+mantissa bits."""
+    sign = (np.asarray(sign_bits, dtype=np.uint32) & np.uint32(1)) << np.uint32(31)
+    rest = np.asarray(rest_bits, dtype=np.uint32) & np.uint32(0x7FFFFFFF)
+    return (sign | rest).view(np.float32).astype(np.float64)
+
+
+def nmse(original: np.ndarray, decoded: np.ndarray) -> float:
+    """Normalized mean squared error ``‖x - x̂‖² / ‖x‖²``."""
+    original = np.asarray(original, dtype=np.float64).reshape(-1)
+    decoded = np.asarray(decoded, dtype=np.float64).reshape(-1)
+    denom = float(np.dot(original, original))
+    if denom == 0.0:
+        return float(np.dot(decoded, decoded))
+    diff = original - decoded
+    return float(np.dot(diff, diff) / denom)

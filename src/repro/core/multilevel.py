@@ -1,0 +1,297 @@
+"""Multi-level trimmable encoding (paper Section 5.1, future work).
+
+The paper's two-tier code supports exactly one trim depth (keep ``P`` of
+``P+Q`` bits).  Section 5.1 asks for *versatile* encodings where a switch
+can choose among several trim depths according to congestion — e.g. trim
+a packet to ~25 % size (8 bits/coordinate) under mild congestion or ~3 %
+(1 bit) under heavy congestion.
+
+This module implements a three-plane tiered code over RHT-rotated rows:
+
+* **plane 0 — 1 bit**: ``sign(r)``; decodes as ``f·sign(r)`` with the
+  DRIVE scale ``f`` (identical to :class:`~repro.core.rht.RHTCodec`).
+* **plane 1 — 7 bits**: magnitude ``m = ⌊|r|/A·128⌋`` against the per-row
+  range ``A = max|r|``; together with the sign it decodes as the midpoint
+  ``±(m+½)·A/128`` — an 8-bit uniform quantizer.
+* **plane 2 — 24 bits**: the residual ``r - r̂₈`` uniformly quantized over
+  ``±A/128``, restoring near-full precision (error ≤ A·2⁻³², below fp32
+  resolution for these rows).
+
+Planes are laid out contiguously (all signs, then all magnitudes, then
+all residuals), so a switch can cut at the 1-bit or 8-bit plane boundary
+with :func:`repro.packet.trim.trim_to_bits` — no arithmetic needed, just
+a shorter keep-length, exactly the paper's "trim to 25 % or 3 %".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..packet.bitpack import pack_bits, packed_size, unpack_bits
+from ..packet.header import FLAG_METADATA, GRADIENT_HEADER_BYTES, GradientHeader
+from ..packet.packet import DEFAULT_MTU_BYTES, Packet
+from ..transforms.prng import derive_seed
+from ..transforms.rotation import RotatedRows, rotate_rows, unrotate_rows
+from .metadata import GradientMetadata
+from .rht import DEFAULT_ROW_SIZE, unbiased_row_scales
+
+__all__ = [
+    "MULTILEVEL_CODEC_ID",
+    "PLANE_BITS",
+    "LEVEL_BITS",
+    "MultiLevelEncoded",
+    "MultiLevelCodec",
+]
+
+MULTILEVEL_CODEC_ID = 5
+#: Bit width of each plane, front-of-packet first.
+PLANE_BITS = (1, 7, 24)
+#: Decodable prefix depths: sign-only, sign+magnitude, full.
+LEVEL_BITS = (1, 8, 32)
+
+_MAG_STEPS = 128  # 7-bit magnitude plane resolution
+_RES_LEVELS = (1 << 24) - 1  # 24-bit residual plane resolution
+
+
+@dataclass
+class MultiLevelEncoded:
+    """Three-plane encoding of one gradient blob.
+
+    Attributes:
+        signs: plane 0, 1-bit codes (1 = non-negative rotated coord).
+        magnitudes: plane 1, 7-bit codes.
+        residuals: plane 2, 24-bit codes.
+        metadata: row scales ``f`` (1-bit decode) in ``row_scales`` and
+            ranges ``A`` (8-bit decode) in ``aux_scales``.
+        length: padded coordinate count (multiple of the row size).
+    """
+
+    signs: np.ndarray
+    magnitudes: np.ndarray
+    residuals: np.ndarray
+    metadata: GradientMetadata
+    length: int
+
+
+class MultiLevelCodec:
+    """Tiered 1/8/32-bit trimmable codec (Section 5.1)."""
+
+    name = "multilevel"
+    codec_id = MULTILEVEL_CODEC_ID
+
+    def __init__(self, root_seed: int = 0, row_size: int = DEFAULT_ROW_SIZE):
+        self.root_seed = root_seed
+        self.row_size = row_size
+
+    # -- array level -------------------------------------------------------
+
+    def encode(
+        self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0
+    ) -> MultiLevelEncoded:
+        """Rotate, then split every coordinate into the three planes."""
+        flat = np.asarray(flat, dtype=np.float64).reshape(-1)
+        seed = derive_seed(self.root_seed, epoch, message_id, purpose="rotation")
+        rotated = rotate_rows(flat, self.row_size, seed)
+        rows = rotated.rows
+        f_scales = unbiased_row_scales(rows)
+        ranges = np.abs(rows).max(axis=1)
+        ranges = np.where(ranges > 0, ranges, 1.0)
+
+        signs = (rows >= 0).astype(np.uint32)
+        step = ranges[:, None] / _MAG_STEPS
+        mags = np.minimum(
+            (np.abs(rows) / step).astype(np.int64), _MAG_STEPS - 1
+        ).astype(np.uint32)
+        mid = (mags.astype(np.float64) + 0.5) * step
+        r8 = np.where(signs == 1, mid, -mid)
+        residual = rows - r8
+        # Residual lies in ±step/2 by construction; quantize over ±step to
+        # keep headroom for float rounding at the clamp boundary.
+        res_norm = np.clip((residual / step + 1.0) / 2.0, 0.0, 1.0)
+        res_codes = np.rint(res_norm * _RES_LEVELS).astype(np.uint32)
+
+        metadata = GradientMetadata(
+            message_id=message_id,
+            epoch=epoch,
+            original_length=flat.size,
+            row_size=rotated.row_size,
+            seed=seed,
+            sigma=float(np.std(flat)),
+            row_scales=f_scales,
+            aux_scales=ranges,
+        )
+        return MultiLevelEncoded(
+            signs=signs.reshape(-1),
+            magnitudes=mags.reshape(-1),
+            residuals=res_codes.reshape(-1),
+            metadata=metadata,
+            length=rows.size,
+        )
+
+    def decode(self, enc: MultiLevelEncoded, levels: Optional[np.ndarray] = None) -> np.ndarray:
+        """Decode given the per-coordinate received depth.
+
+        ``levels[i]`` is the number of code bits that survived for
+        coordinate ``i``: 32 (full), 8, 1, or 0 (packet lost).  ``None``
+        means everything arrived untrimmed.
+        """
+        meta = enc.metadata
+        width = meta.row_size
+        num_rows = enc.length // width
+        if levels is None:
+            levels = np.full(enc.length, LEVEL_BITS[-1], dtype=np.int64)
+        levels = np.asarray(levels, dtype=np.int64).reshape(-1)
+        if levels.shape != (enc.length,):
+            raise ValueError(f"levels shape {levels.shape} != ({enc.length},)")
+        bad = ~np.isin(levels, (0,) + LEVEL_BITS)
+        if bad.any():
+            raise ValueError(f"invalid level values: {np.unique(levels[bad])}")
+
+        sign_values = enc.signs.astype(np.float64) * 2.0 - 1.0
+        f_scales = np.repeat(np.asarray(meta.row_scales, dtype=np.float64), width)
+        ranges = np.repeat(np.asarray(meta.aux_scales, dtype=np.float64), width)
+        step = ranges / _MAG_STEPS
+
+        mid = (enc.magnitudes.astype(np.float64) + 0.5) * step
+        r8 = sign_values * mid
+        residual = (enc.residuals.astype(np.float64) / _RES_LEVELS * 2.0 - 1.0) * step
+        r_full = r8 + residual
+        r1 = sign_values * f_scales
+
+        r_hat = np.zeros(enc.length, dtype=np.float64)
+        r_hat = np.where(levels == 1, r1, r_hat)
+        r_hat = np.where(levels == 8, r8, r_hat)
+        r_hat = np.where(levels == 32, r_full, r_hat)
+
+        rotated = RotatedRows(
+            rows=r_hat.reshape(num_rows, width),
+            original_length=meta.original_length,
+            row_size=width,
+            seed=meta.seed,
+        )
+        return unrotate_rows(rotated)
+
+    # -- packet level --------------------------------------------------------
+
+    def packetize(
+        self,
+        enc: MultiLevelEncoded,
+        src: str = "",
+        dst: str = "",
+        mtu: int = DEFAULT_MTU_BYTES,
+        flow_id: int = 0,
+    ) -> list[Packet]:
+        """Wire layout: gradient header, sign plane, magnitude plane, residual plane."""
+        meta = enc.metadata
+        payload_bits = (mtu - 42 - GRADIENT_HEADER_BYTES) * 8
+        n_per_packet = payload_bits // sum(PLANE_BITS)
+        packets: list[Packet] = []
+
+        meta_header = GradientHeader(
+            codec_id=self.codec_id,
+            head_bits=PLANE_BITS[0],
+            tail_bits=sum(PLANE_BITS) - PLANE_BITS[0],
+            message_id=meta.message_id,
+            epoch=meta.epoch,
+            chunk_index=0,
+            coord_offset=0,
+            coord_count=0,
+            seed=meta.seed,
+            flags=FLAG_METADATA,
+        )
+        packets.append(
+            Packet(
+                src=src,
+                dst=dst,
+                payload=meta_header.to_bytes() + meta.to_bytes(),
+                grad_header=meta_header,
+                priority=1,
+                flow_id=flow_id,
+            )
+        )
+        for chunk, offset in enumerate(range(0, enc.length, n_per_packet)):
+            end = min(offset + n_per_packet, enc.length)
+            count = end - offset
+            header = GradientHeader(
+                codec_id=self.codec_id,
+                head_bits=PLANE_BITS[0],
+                tail_bits=sum(PLANE_BITS) - PLANE_BITS[0],
+                message_id=meta.message_id,
+                epoch=meta.epoch,
+                chunk_index=chunk + 1,
+                coord_offset=offset,
+                coord_count=count,
+                seed=meta.seed,
+            )
+            payload = (
+                header.to_bytes()
+                + pack_bits(enc.signs[offset:end], PLANE_BITS[0])
+                + pack_bits(enc.magnitudes[offset:end], PLANE_BITS[1])
+                + pack_bits(enc.residuals[offset:end], PLANE_BITS[2])
+            )
+            packets.append(
+                Packet(
+                    src=src,
+                    dst=dst,
+                    payload=payload,
+                    grad_header=header,
+                    flow_id=flow_id,
+                    seq=chunk + 1,
+                )
+            )
+        return packets
+
+    def depacketize(
+        self, packets: Iterable[Packet]
+    ) -> tuple[MultiLevelEncoded, np.ndarray]:
+        """Reassemble packets into planes plus the per-coordinate level array.
+
+        A packet trimmed with :func:`~repro.packet.trim.trim_to_bits` to 8
+        or 1 bits contributes the corresponding prefix planes; coordinates
+        never seen get level 0.
+        """
+        metadata: Optional[GradientMetadata] = None
+        data: list[Packet] = []
+        for pkt in packets:
+            header = pkt.grad_header or GradientHeader.from_bytes(pkt.payload)
+            if header.is_metadata:
+                metadata = GradientMetadata.from_bytes(pkt.payload[GRADIENT_HEADER_BYTES:])
+            else:
+                data.append(pkt)
+        if metadata is None:
+            raise ValueError("metadata packet missing; multilevel decode needs row scales")
+        width = metadata.row_size
+        length = -(-metadata.original_length // width) * width
+
+        signs = np.zeros(length, dtype=np.uint32)
+        mags = np.zeros(length, dtype=np.uint32)
+        residuals = np.zeros(length, dtype=np.uint32)
+        levels = np.zeros(length, dtype=np.int64)
+
+        for pkt in data:
+            hdr = pkt.grad_header or GradientHeader.from_bytes(pkt.payload)
+            body = pkt.payload[GRADIENT_HEADER_BYTES:]
+            lo, hi = hdr.coord_offset, hdr.coord_offset + hdr.coord_count
+            arrived_bits = hdr.head_bits if hdr.trimmed else hdr.head_bits + hdr.tail_bits
+            if arrived_bits not in LEVEL_BITS:
+                raise ValueError(f"packet trimmed to unsupported depth {arrived_bits}")
+            signs[lo:hi] = unpack_bits(body, hdr.coord_count, PLANE_BITS[0])
+            cursor = packed_size(hdr.coord_count, PLANE_BITS[0])
+            if arrived_bits >= 8:
+                mags[lo:hi] = unpack_bits(body[cursor:], hdr.coord_count, PLANE_BITS[1])
+                cursor += packed_size(hdr.coord_count, PLANE_BITS[1])
+            if arrived_bits >= 32:
+                residuals[lo:hi] = unpack_bits(body[cursor:], hdr.coord_count, PLANE_BITS[2])
+            levels[lo:hi] = arrived_bits
+
+        enc = MultiLevelEncoded(
+            signs=signs,
+            magnitudes=mags,
+            residuals=residuals,
+            metadata=metadata,
+            length=length,
+        )
+        return enc, levels

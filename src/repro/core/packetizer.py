@@ -1,0 +1,247 @@
+"""Gradient blob ⇄ trimmable packets.
+
+``packetize`` lays an :class:`~repro.core.codec.EncodedGradient` out on
+the wire exactly as Figure 2(b) prescribes: every packet carries its
+32-byte self-describing gradient header, then the packed ``P``-bit heads
+of its ``n`` coordinates, then their ``Q``-bit tails.  A switch that trims
+the packet after the heads leaves a decodable prefix.
+
+``depacketize`` reassembles whatever arrived — full packets, trimmed
+packets, or holes where packets were dropped — into per-coordinate head /
+tail arrays plus masks, ready for the codec's decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..packet.bitpack import pack_bits, packed_size, unpack_bits
+from ..packet.header import (
+    FLAG_METADATA,
+    GRADIENT_HEADER_BYTES,
+    GradientHeader,
+)
+from ..packet.packet import DEFAULT_MTU_BYTES, Packet
+from .codec import EncodedGradient, GradientCodec, codec_by_id
+from .layout import coords_per_packet
+from .metadata import GradientMetadata
+
+__all__ = ["GradientMessage", "packetize", "depacketize", "decode_packets"]
+
+
+@dataclass
+class GradientMessage:
+    """Receiver-side view of one collective message's packets.
+
+    Attributes:
+        heads: per-coordinate head codes (0 where the packet is missing).
+        tails: per-coordinate tail codes (0 where trimmed or missing).
+        trimmed: True for coordinates that arrived head-only.
+        missing: True for coordinates whose packet never arrived.
+        metadata: the reliable side-channel, if its packet arrived.
+        codec_id / head_bits / tail_bits / length: message geometry.
+    """
+
+    heads: np.ndarray
+    tails: np.ndarray
+    trimmed: np.ndarray
+    missing: np.ndarray
+    metadata: Optional[GradientMetadata]
+    codec_id: int
+    head_bits: int
+    tail_bits: int
+    length: int
+
+    @property
+    def trim_fraction(self) -> float:
+        """Fraction of coordinates that arrived head-only."""
+        return float(self.trimmed.mean()) if self.length else 0.0
+
+    def to_encoded(self) -> EncodedGradient:
+        """Package as an :class:`EncodedGradient` for codec decoding."""
+        if self.metadata is None:
+            raise ValueError("metadata packet missing; cannot decode")
+        return EncodedGradient(
+            codec_id=self.codec_id,
+            head_bits=self.head_bits,
+            tail_bits=self.tail_bits,
+            length=self.length,
+            heads=self.heads,
+            tails=self.tails,
+            metadata=self.metadata,
+        )
+
+
+def packetize(
+    enc: EncodedGradient,
+    src: str = "",
+    dst: str = "",
+    mtu: int = DEFAULT_MTU_BYTES,
+    flow_id: int = 0,
+) -> list[Packet]:
+    """Serialize an encoded gradient into wire packets.
+
+    The first returned packet is the small reliable metadata packet
+    (flagged so switches never trim it); the rest are trimmable data
+    packets in coordinate order.
+    """
+    meta = enc.metadata
+    n_per_packet = coords_per_packet(mtu, enc.head_bits, enc.tail_bits)
+    packets: list[Packet] = []
+
+    meta_header = GradientHeader(
+        codec_id=enc.codec_id,
+        head_bits=enc.head_bits,
+        tail_bits=enc.tail_bits,
+        message_id=meta.message_id,
+        epoch=meta.epoch,
+        chunk_index=0,
+        coord_offset=0,
+        coord_count=0,
+        seed=meta.seed,
+        flags=FLAG_METADATA,
+    )
+    packets.append(
+        Packet(
+            src=src,
+            dst=dst,
+            payload=meta_header.to_bytes() + meta.to_bytes(),
+            grad_header=meta_header,
+            priority=1,
+            flow_id=flow_id,
+        )
+    )
+
+    for chunk, offset in enumerate(range(0, enc.length, n_per_packet)):
+        end = min(offset + n_per_packet, enc.length)
+        count = end - offset
+        header = GradientHeader(
+            codec_id=enc.codec_id,
+            head_bits=enc.head_bits,
+            tail_bits=enc.tail_bits,
+            message_id=meta.message_id,
+            epoch=meta.epoch,
+            chunk_index=chunk + 1,
+            coord_offset=offset,
+            coord_count=count,
+            seed=meta.seed,
+        )
+        payload = (
+            header.to_bytes()
+            + pack_bits(enc.heads[offset:end], enc.head_bits)
+            + pack_bits(enc.tails[offset:end], enc.tail_bits)
+        )
+        packets.append(
+            Packet(
+                src=src,
+                dst=dst,
+                payload=payload,
+                grad_header=header,
+                flow_id=flow_id,
+                seq=chunk + 1,
+            )
+        )
+    return packets
+
+
+def depacketize(packets: Iterable[Packet], length: Optional[int] = None) -> GradientMessage:
+    """Reassemble received packets into a :class:`GradientMessage`.
+
+    Packets may arrive in any order; trimmed packets contribute heads
+    only; coordinates not covered by any packet are flagged missing.
+    ``length`` overrides the total coordinate count (otherwise inferred
+    from the highest coordinate range seen plus the metadata packet).
+    """
+    data_packets: list[Packet] = []
+    metadata: Optional[GradientMetadata] = None
+    geometry: Optional[GradientHeader] = None
+
+    for pkt in packets:
+        header = pkt.grad_header or GradientHeader.from_bytes(pkt.payload)
+        if header.is_metadata:
+            metadata = GradientMetadata.from_bytes(pkt.payload[GRADIENT_HEADER_BYTES:])
+            geometry = geometry or header
+        else:
+            data_packets.append(pkt)
+            geometry = header if geometry is None or geometry.is_metadata else geometry
+
+    if geometry is None:
+        raise ValueError("no gradient packets to depacketize")
+
+    if length is None:
+        seen_end = max(
+            (
+                (p.grad_header or GradientHeader.from_bytes(p.payload)).coord_offset
+                + (p.grad_header or GradientHeader.from_bytes(p.payload)).coord_count
+                for p in data_packets
+            ),
+            default=0,
+        )
+        length = seen_end
+
+    head_bits = geometry.head_bits + geometry.tail_bits  # full width
+    # Geometry fields for the *untrimmed* encoding come from any data
+    # packet: a trimmed packet reports its post-trim head_bits, so derive
+    # the full split from head_bits + tail_bits which trim preserves.
+    full_head_bits = None
+    full_tail_bits = None
+    for pkt in data_packets:
+        hdr = pkt.grad_header or GradientHeader.from_bytes(pkt.payload)
+        if not hdr.trimmed:
+            full_head_bits, full_tail_bits = hdr.head_bits, hdr.tail_bits
+            break
+    if full_head_bits is None:
+        # All packets trimmed: the head plane width is whatever survived.
+        full_head_bits = geometry.head_bits
+        full_tail_bits = geometry.tail_bits
+    del head_bits
+
+    heads = np.zeros(length, dtype=np.uint32)
+    tails = np.zeros(length, dtype=np.uint32)
+    trimmed = np.zeros(length, dtype=bool)
+    covered = np.zeros(length, dtype=bool)
+
+    for pkt in data_packets:
+        hdr = pkt.grad_header or GradientHeader.from_bytes(pkt.payload)
+        body = pkt.payload[GRADIENT_HEADER_BYTES:]
+        lo, hi = hdr.coord_offset, hdr.coord_offset + hdr.coord_count
+        if hi > length:
+            raise ValueError(f"packet covers coords [{lo},{hi}) beyond length {length}")
+        heads[lo:hi] = unpack_bits(body, hdr.coord_count, hdr.head_bits)
+        covered[lo:hi] = True
+        if hdr.trimmed:
+            trimmed[lo:hi] = True
+        else:
+            tail_start = packed_size(hdr.coord_count, hdr.head_bits)
+            tails[lo:hi] = unpack_bits(body[tail_start:], hdr.coord_count, hdr.tail_bits)
+
+    return GradientMessage(
+        heads=heads,
+        tails=tails,
+        trimmed=trimmed,
+        missing=~covered,
+        metadata=metadata,
+        codec_id=geometry.codec_id,
+        head_bits=full_head_bits,
+        tail_bits=full_tail_bits,
+        length=length,
+    )
+
+
+def decode_packets(
+    packets: Sequence[Packet],
+    codec: Optional[GradientCodec] = None,
+    length: Optional[int] = None,
+) -> np.ndarray:
+    """One-call receive path: depacketize then codec-decode.
+
+    When ``codec`` is omitted it is instantiated from the wire codec id.
+    """
+    message = depacketize(packets, length=length)
+    if codec is None:
+        codec = codec_by_id(message.codec_id)
+    enc = message.to_encoded()
+    return codec.decode(enc, trimmed=message.trimmed, missing=message.missing)

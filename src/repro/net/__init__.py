@@ -1,0 +1,38 @@
+"""Discrete-event network simulator: engine, queues, links, switches, topologies."""
+
+from .crosstraffic import CROSS_TRAFFIC_FLOW_BASE, IncastBurst, OnOffFlow
+from .flow import FlowLog, FlowRecord
+from .host import Host
+from .link import Device, Link
+from .queues import ByteQueue, PriorityQueue
+from .simulator import Event, Simulator
+from .switch import Switch, SwitchStats
+from .telemetry import QueueMonitor, QueueSample
+from .trace import PacketTracer, TraceEvent
+from .topology import GBPS, Network, dumbbell, fat_tree, leaf_spine
+
+__all__ = [
+    "CROSS_TRAFFIC_FLOW_BASE",
+    "IncastBurst",
+    "OnOffFlow",
+    "FlowLog",
+    "FlowRecord",
+    "Host",
+    "Device",
+    "Link",
+    "ByteQueue",
+    "PriorityQueue",
+    "Event",
+    "Simulator",
+    "Switch",
+    "SwitchStats",
+    "QueueMonitor",
+    "QueueSample",
+    "PacketTracer",
+    "TraceEvent",
+    "GBPS",
+    "Network",
+    "dumbbell",
+    "fat_tree",
+    "leaf_spine",
+]

@@ -1,0 +1,96 @@
+"""Flow-level bookkeeping: completion times and tail statistics.
+
+The paper's headline transport metric is the *slowest* flow completion
+time in a synchronous training round — one straggler stalls every GPU.
+:class:`FlowLog` records message completions and computes mean/percentile
+/max FCT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["FlowRecord", "FlowLog"]
+
+
+@dataclass
+class FlowRecord:
+    """Lifecycle of one message-sized flow."""
+
+    flow_id: int
+    src: str
+    dst: str
+    bytes_total: int
+    started_at: float
+    completed_at: Optional[float] = None
+    retransmissions: int = 0
+    packets_trimmed: int = 0
+    packets_sent: int = 0
+
+    @property
+    def fct(self) -> Optional[float]:
+        """Flow completion time in seconds (None while in flight)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+class FlowLog:
+    """Registry of flow records with summary statistics."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, FlowRecord] = {}
+
+    def open(
+        self, flow_id: int, src: str, dst: str, bytes_total: int, now: float
+    ) -> FlowRecord:
+        """Start tracking a flow."""
+        if flow_id in self._records:
+            raise ValueError(f"flow {flow_id} already open")
+        record = FlowRecord(flow_id, src, dst, bytes_total, started_at=now)
+        self._records[flow_id] = record
+        return record
+
+    def close(self, flow_id: int, now: float) -> FlowRecord:
+        """Mark a flow complete."""
+        record = self._records[flow_id]
+        record.completed_at = now
+        return record
+
+    def get(self, flow_id: int) -> FlowRecord:
+        return self._records[flow_id]
+
+    @property
+    def records(self) -> List[FlowRecord]:
+        return list(self._records.values())
+
+    def completed(self) -> List[FlowRecord]:
+        """Flows that have finished."""
+        return [r for r in self._records.values() if r.completed_at is not None]
+
+    def fcts(self) -> np.ndarray:
+        """Completion times of all finished flows."""
+        return np.array([r.fct for r in self.completed()])
+
+    def max_fct(self) -> float:
+        """The straggler: slowest completion time (inf if none finished)."""
+        fcts = self.fcts()
+        return float(fcts.max()) if fcts.size else float("inf")
+
+    def mean_fct(self) -> float:
+        fcts = self.fcts()
+        return float(fcts.mean()) if fcts.size else float("inf")
+
+    def percentile_fct(self, q: float) -> float:
+        """q-th percentile FCT (q in [0, 100])."""
+        fcts = self.fcts()
+        return float(np.percentile(fcts, q)) if fcts.size else float("inf")
+
+    def total_retransmissions(self) -> int:
+        return sum(r.retransmissions for r in self._records.values())
+
+    def total_trimmed(self) -> int:
+        return sum(r.packets_trimmed for r in self._records.values())

@@ -1,0 +1,148 @@
+"""Devices and links.
+
+A :class:`Device` is anything with a name that can receive packets (hosts
+and switches).  A :class:`Link` is a *unidirectional* serializer: it owns
+an egress queue, transmits one packet at a time at its line rate, and
+delivers to the peer device after the propagation delay.  Bidirectional
+cables are simply two Links.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..packet.packet import Packet
+from .queues import ByteQueue, PriorityQueue
+from .simulator import Simulator
+
+__all__ = ["Device", "Link"]
+
+
+class Device:
+    """Base class for hosts and switches."""
+
+    def __init__(self, name: str, sim: Simulator) -> None:
+        self.name = name
+        self.sim = sim
+
+    def receive(self, packet: Packet, ingress: "Link") -> None:
+        """Handle a packet delivered by ``ingress``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Link:
+    """One direction of a cable: egress queue + serializer + wire.
+
+    Attributes:
+        src: name of the transmitting device (for traces).
+        dst: device at the far end.
+        rate_bps: line rate in bits per second.
+        delay_s: propagation delay in seconds.
+        queue: the egress queue feeding this link.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: str,
+        dst: Device,
+        rate_bps: float,
+        delay_s: float,
+        queue: Union[ByteQueue, PriorityQueue],
+        drop_prob: float = 0.0,
+        trim_prob: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        if not 0.0 <= drop_prob <= 1.0 or not 0.0 <= trim_prob <= 1.0:
+            raise ValueError("drop_prob and trim_prob must be in [0, 1]")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.queue = queue
+        # Probabilistic impairment, mirroring the paper's evaluation
+        # methodology ("pre-set random probabilistic dropping/trimming,
+        # both in the software layer and on our SmartNIC").  Control
+        # packets (ACKs) are never impaired — they are tiny and travel in
+        # the express band.
+        self.drop_prob = drop_prob
+        self.trim_prob = trim_prob
+        self._rng = np.random.default_rng(seed)
+        self._busy = False
+        # Telemetry.
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_dropped = 0
+        self.packets_trimmed = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while a packet is being serialized."""
+        return self._busy
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Seconds to serialize ``packet`` at line rate."""
+        return packet.wire_size * 8.0 / self.rate_bps
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Push into the egress queue and kick the serializer.
+
+        Returns False when the queue rejected the packet (caller decides
+        whether to trim or drop).
+        """
+        accepted = self.queue.push(packet)
+        if accepted:
+            self._try_transmit()
+        return accepted
+
+    def kick(self) -> None:
+        """Restart transmission after the caller enqueued directly."""
+        self._try_transmit()
+
+    def _try_transmit(self) -> None:
+        if self._busy:
+            return
+        packet = self.queue.pop()
+        if packet is None:
+            return
+        self._busy = True
+        self.sim.schedule(
+            self.transmission_time(packet), lambda: self._finish(packet)
+        )
+
+    def _finish(self, packet: Packet) -> None:
+        self._busy = False
+        self.packets_sent += 1
+        self.bytes_sent += packet.wire_size
+        delivered: Optional[Packet] = packet
+        if not packet.is_ack:
+            if self.drop_prob > 0.0 and self._rng.random() < self.drop_prob:
+                delivered = None
+                self.packets_dropped += 1
+            elif (
+                self.trim_prob > 0.0
+                and packet.trimmable_bytes() is not None
+                and self._rng.random() < self.trim_prob
+            ):
+                delivered = packet.trim()
+                self.packets_trimmed += 1
+        if delivered is not None:
+            final = delivered
+            self.sim.schedule(self.delay_s, lambda: self.dst.receive(final, self))
+        self._try_transmit()
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds spent transmitting."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.bytes_sent * 8.0 / self.rate_bps / elapsed)

@@ -1,0 +1,115 @@
+"""Discrete-event simulation engine.
+
+A minimal but complete event loop in the style of ns-2/htsim: events are
+``(time, sequence, callback)`` triples in a binary heap; ``sequence``
+breaks ties so same-time events run in schedule order, which keeps runs
+deterministic.  Everything in :mod:`repro.net` and :mod:`repro.transport`
+is driven by one :class:`Simulator`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Simulator", "Event"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.  Ordered by (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1e-6, lambda: print("one microsecond in"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` ``delay`` seconds from now; returns a handle.
+
+        ``delay`` must be non-negative; zero-delay events run after all
+        previously scheduled events for the current instant.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self._now + delay, next(self._sequence), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute time ``when``."""
+        return self.schedule(when - self._now, callback)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event heap.
+
+        Args:
+            until: stop once simulated time would pass this instant
+                (events at exactly ``until`` still run).
+            max_events: safety valve against runaway simulations.
+
+        Returns:
+            The simulation time when the run stopped.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if until is not None and event.time > until:
+                heapq.heappush(self._heap, event)
+                self._now = until
+                break
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            executed += 1
+        else:
+            if until is not None:
+                self._now = max(self._now, until)
+        return self._now
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def pending(self) -> int:
+        """Number of live events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

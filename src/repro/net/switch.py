@@ -1,0 +1,162 @@
+"""Shallow-buffer switch with trim-on-overflow.
+
+The paper's enabling mechanism: when an egress queue fills, the switch —
+instead of dropping — *trims* a gradient packet down to its decodable
+head and forwards the remnant in a strict-priority express band, like
+NDP/EODS and the packet-trimming features of Tofino, Trident 4 and
+Spectrum 2.  The trim depth is delegated to a
+:class:`~repro.packet.trim.TrimPolicy`, so the same switch runs drop-tail
+(``NeverTrim``), classic single-level trimming, or the Section 5.1
+multi-level policy.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..packet.packet import Packet
+from ..packet.trim import NeverTrim, TrimPolicy
+from .link import Device, Link
+from .queues import PriorityQueue
+from .simulator import Simulator
+
+__all__ = ["Switch", "SwitchStats"]
+
+
+@dataclass
+class SwitchStats:
+    """Counters for one switch."""
+
+    forwarded: int = 0
+    trimmed: int = 0
+    dropped: int = 0
+    trimmed_bytes_saved: int = 0
+    drops_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def note_drop(self, kind: str) -> None:
+        self.dropped += 1
+        self.drops_by_kind[kind] = self.drops_by_kind.get(kind, 0) + 1
+
+
+class Switch(Device):
+    """A store-and-forward switch with shallow per-port buffers.
+
+    Args:
+        name: switch id.
+        sim: the event loop.
+        buffer_bytes: data-band capacity per egress port (the shallow
+            buffer; the paper's switches trim precisely because this is
+            small).
+        header_band_bytes: express-band capacity for trimmed headers,
+            ACKs and metadata (small packets, so a modest reserve).
+        ecn_threshold_bytes: DCTCP-style marking threshold on the data
+            band (None disables ECN).
+        trim_policy: what to do on overflow; defaults to drop-tail.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        buffer_bytes: int = 60_000,
+        header_band_bytes: int = 30_000,
+        ecn_threshold_bytes: Optional[int] = None,
+        trim_policy: Optional[TrimPolicy] = None,
+    ) -> None:
+        super().__init__(name, sim)
+        self.buffer_bytes = buffer_bytes
+        self.header_band_bytes = header_band_bytes
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.trim_policy = trim_policy or NeverTrim()
+        self.ports: Dict[str, Link] = {}
+        # dst host -> equal-cost next hops; flows are hashed across them
+        # (ECMP).  A single-element list is plain shortest-path routing.
+        self.routes: Dict[str, list] = {}
+        self.stats = SwitchStats()
+
+    # -- wiring -------------------------------------------------------------
+
+    def make_queue(self) -> PriorityQueue:
+        """Egress queue template: express band over a shallow data band."""
+        return PriorityQueue(
+            band_capacities=[self.header_band_bytes, self.buffer_bytes],
+            ecn_threshold_bytes=self.ecn_threshold_bytes,
+        )
+
+    def attach(self, neighbor: str, link: Link) -> None:
+        """Register the egress link toward ``neighbor``."""
+        self.ports[neighbor] = link
+
+    def set_route(self, dst_host: str, next_hop) -> None:
+        """Static route toward ``dst_host``.
+
+        ``next_hop`` may be one neighbor name or a list of equal-cost
+        neighbors; flows are spread across a list by hashing the flow id
+        (per-flow ECMP, so a flow's packets stay in order).
+        """
+        hops = [next_hop] if isinstance(next_hop, str) else sorted(next_hop)
+        for hop in hops:
+            if hop not in self.ports:
+                raise ValueError(f"{self.name}: no port toward {hop}")
+        if not hops:
+            raise ValueError("next_hop list is empty")
+        self.routes[dst_host] = hops
+
+    def _pick_next_hop(self, packet: Packet) -> Optional[str]:
+        hops = self.routes.get(packet.dst)
+        if not hops:
+            return None
+        if len(hops) == 1:
+            return hops[0]
+        # Deterministic per-flow hash (crc32 is stable across runs,
+        # unlike builtin hash): same flow, same path.
+        key = (packet.flow_id * 1_000_003 + zlib.crc32(packet.dst.encode())) & 0x7FFFFFFF
+        return hops[key % len(hops)]
+
+    # -- forwarding -----------------------------------------------------------
+
+    def receive(self, packet: Packet, ingress: Optional[Link] = None) -> None:
+        next_hop = self._pick_next_hop(packet)
+        if next_hop is None:
+            self.stats.note_drop("no-route")
+            return
+        self.forward(packet, self.ports[next_hop])
+
+    def forward(self, packet: Packet, link: Link) -> None:
+        """Enqueue on ``link``, trimming or dropping on overflow."""
+        queue: PriorityQueue = link.queue  # type: ignore[assignment]
+        fill_before = queue.data_band().fill
+        if link.enqueue(packet):
+            self.stats.forwarded += 1
+            return
+        # Overflow.  Express-band packets (already tiny) are just dropped;
+        # data packets go through the trim policy.
+        if queue.band_for(packet) != len(queue.bands) - 1:
+            self.stats.note_drop("header-band-overflow")
+            return
+        decision = self.trim_policy.decide(packet, fill_before)
+        remnant = (
+            self.trim_policy.apply(packet, decision)
+            if decision.action == "trim"
+            else None
+        )
+        if remnant is None:
+            self.stats.note_drop("buffer-overflow")
+            return
+        if remnant.wire_size >= packet.wire_size:
+            # Trimming did not shrink the packet; treat as overflow.
+            self.stats.note_drop("buffer-overflow")
+            return
+        if link.enqueue(remnant):
+            self.stats.trimmed += 1
+            self.stats.trimmed_bytes_saved += packet.wire_size - remnant.wire_size
+        else:
+            self.stats.note_drop("header-band-overflow")
+
+    # -- introspection ----------------------------------------------------------
+
+    def queue_depth(self, neighbor: str) -> int:
+        """Bytes queued toward ``neighbor``."""
+        return self.ports[neighbor].queue.bytes_queued

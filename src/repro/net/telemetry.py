@@ -1,0 +1,106 @@
+"""Queue telemetry: sampled depth time series for congestion studies.
+
+The §5.1 closed-loop questions ("how do trim depth, queueing and the
+resulting trim fraction interact?") need visibility into queue dynamics
+over time, not just end-of-run counters.  :class:`QueueMonitor` samples
+one or more egress queues at a fixed period and produces summary
+statistics and ASCII-plottable series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .link import Link
+from .simulator import Simulator
+
+__all__ = ["QueueSample", "QueueMonitor"]
+
+
+@dataclass
+class QueueSample:
+    """One observation of a queue."""
+
+    time: float
+    bytes_queued: int
+    packets: int
+
+
+class QueueMonitor:
+    """Periodic sampler of link egress queues.
+
+    Args:
+        sim: the event loop.
+        period_s: sampling period.
+        stop_at: stop sampling at this simulation time (None = sample
+            while any event remains; the monitor reschedules itself only
+            while other work is pending, so it never keeps an otherwise
+            finished simulation alive).
+    """
+
+    def __init__(
+        self, sim: Simulator, period_s: float = 1e-5, stop_at: Optional[float] = None
+    ):
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.period_s = period_s
+        self.stop_at = stop_at
+        self._watched: Dict[str, Link] = {}
+        self.samples: Dict[str, List[QueueSample]] = {}
+        self._running = False
+
+    def watch(self, label: str, link: Link) -> None:
+        """Start recording the egress queue feeding ``link``."""
+        if label in self._watched:
+            raise ValueError(f"already watching {label!r}")
+        self._watched[label] = link
+        self.samples[label] = []
+        if not self._running:
+            self._running = True
+            self.sim.schedule(0.0, self._tick)
+
+    def _tick(self) -> None:
+        for label, link in self._watched.items():
+            queue = link.queue
+            self.samples[label].append(
+                QueueSample(
+                    time=self.sim.now,
+                    bytes_queued=queue.bytes_queued,
+                    packets=len(queue),
+                )
+            )
+        past_deadline = self.stop_at is not None and self.sim.now >= self.stop_at
+        # Only reschedule while the simulation has other live work: a
+        # monitor must observe, not prolong, the run.
+        if not past_deadline and self.sim.pending() > 0:
+            self.sim.schedule(self.period_s, self._tick)
+        else:
+            self._running = False
+
+    # -- analysis ---------------------------------------------------------------
+
+    def series(self, label: str) -> List[Tuple[float, float]]:
+        """(time, bytes) pairs, ready for the harness ASCII chart."""
+        return [(s.time, float(s.bytes_queued)) for s in self.samples[label]]
+
+    def peak_bytes(self, label: str) -> int:
+        samples = self.samples[label]
+        return max((s.bytes_queued for s in samples), default=0)
+
+    def mean_bytes(self, label: str) -> float:
+        samples = self.samples[label]
+        if not samples:
+            return 0.0
+        return float(np.mean([s.bytes_queued for s in samples]))
+
+    def time_above(self, label: str, threshold_bytes: int) -> float:
+        """Fraction of samples with queue depth above ``threshold_bytes``."""
+        samples = self.samples[label]
+        if not samples:
+            return 0.0
+        above = sum(1 for s in samples if s.bytes_queued > threshold_bytes)
+        return above / len(samples)

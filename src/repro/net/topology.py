@@ -1,0 +1,282 @@
+"""Network construction: devices + cables + routing.
+
+:class:`Network` wraps a :class:`~repro.net.simulator.Simulator`, a
+networkx graph describing connectivity, and shortest-path static routes.
+Builders for the standard data-center shapes are provided: a dumbbell
+(the classic shared-bottleneck microbenchmark), a two-tier leaf–spine,
+and a k-ary fat-tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import networkx as nx
+
+from ..packet.trim import TrimPolicy
+from .host import Host
+from .link import Device, Link
+from .simulator import Simulator
+from .switch import Switch
+
+__all__ = ["Network", "dumbbell", "leaf_spine", "fat_tree"]
+
+GBPS = 1e9
+
+
+class Network:
+    """A simulated network: hosts, switches, links, routes.
+
+    Typical use::
+
+        net = dumbbell(pairs=4)
+        net.build_routes()
+        ... attach transports to net.hosts[...] ...
+        net.sim.run()
+    """
+
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
+        self.sim = sim or Simulator()
+        self.hosts: Dict[str, Host] = {}
+        self.switches: Dict[str, Switch] = {}
+        self.graph = nx.Graph()
+
+    # -- construction ----------------------------------------------------------
+
+    def add_host(self, name: str, **kwargs) -> Host:
+        """Create and register a host."""
+        if name in self.hosts or name in self.switches:
+            raise ValueError(f"duplicate device name {name!r}")
+        host = Host(name, self.sim, **kwargs)
+        self.hosts[name] = host
+        self.graph.add_node(name, kind="host")
+        return host
+
+    def add_switch(self, name: str, **kwargs) -> Switch:
+        """Create and register a switch."""
+        if name in self.hosts or name in self.switches:
+            raise ValueError(f"duplicate device name {name!r}")
+        switch = Switch(name, self.sim, **kwargs)
+        self.switches[name] = switch
+        self.graph.add_node(name, kind="switch")
+        return switch
+
+    def device(self, name: str) -> Device:
+        """Look up any device by name."""
+        if name in self.hosts:
+            return self.hosts[name]
+        if name in self.switches:
+            return self.switches[name]
+        raise KeyError(f"unknown device {name!r}")
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        rate_bps: float = 100 * GBPS,
+        delay_s: float = 1e-6,
+        drop_prob: float = 0.0,
+        trim_prob: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        """Wire a full-duplex cable between devices ``a`` and ``b``.
+
+        ``drop_prob``/``trim_prob`` impose probabilistic impairment on
+        both directions — the paper's "pre-set random probabilistic
+        dropping/trimming" congestion emulation.
+        """
+        dev_a, dev_b = self.device(a), self.device(b)
+        link_ab = Link(
+            self.sim, a, dev_b, rate_bps, delay_s, dev_a.make_queue(),
+            drop_prob=drop_prob, trim_prob=trim_prob, seed=seed,
+        )
+        link_ba = Link(
+            self.sim, b, dev_a, rate_bps, delay_s, dev_b.make_queue(),
+            drop_prob=drop_prob, trim_prob=trim_prob, seed=seed + 1,
+        )
+        dev_a.attach(b, link_ab)
+        dev_b.attach(a, link_ba)
+        self.graph.add_edge(a, b, rate_bps=rate_bps, delay_s=delay_s)
+
+    def set_impairment(
+        self, a: str, b: str, drop_prob: float = 0.0, trim_prob: float = 0.0
+    ) -> None:
+        """Adjust probabilistic impairment on the a->b and b->a links."""
+        for link in (self.link_between(a, b), self.link_between(b, a)):
+            link.drop_prob = drop_prob
+            link.trim_prob = trim_prob
+
+    def build_routes(self, ecmp: bool = False) -> None:
+        """Install shortest-path routes toward every host on every switch.
+
+        With ``ecmp=True`` every equal-cost next hop is installed and
+        switches spread flows across them by per-flow hashing (the
+        standard Clos load-balancing); otherwise a single deterministic
+        shortest path is used.
+        """
+        if not ecmp:
+            for dst in self.hosts:
+                paths = nx.shortest_path(self.graph, target=dst)
+                for name, switch in self.switches.items():
+                    path = paths.get(name)
+                    if path is None or len(path) < 2:
+                        continue
+                    switch.set_route(dst, path[1])
+            return
+        for dst in self.hosts:
+            lengths = nx.shortest_path_length(self.graph, target=dst)
+            for name, switch in self.switches.items():
+                if name not in lengths:
+                    continue
+                my_distance = lengths[name]
+                next_hops = sorted(
+                    neighbor
+                    for neighbor in self.graph.neighbors(name)
+                    if lengths.get(neighbor, float("inf")) == my_distance - 1
+                )
+                if next_hops:
+                    switch.set_route(dst, next_hops)
+
+    # -- convenience -------------------------------------------------------------
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The egress link from ``a`` toward ``b``."""
+        dev = self.device(a)
+        if isinstance(dev, Host):
+            if dev.uplink is None or dev.uplink.dst.name != b:
+                raise KeyError(f"{a} has no link toward {b}")
+            return dev.uplink
+        return dev.ports[b]
+
+    def total_switch_stats(self) -> Dict[str, int]:
+        """Aggregate forwarded/trimmed/dropped counters over all switches."""
+        totals = {"forwarded": 0, "trimmed": 0, "dropped": 0}
+        for switch in self.switches.values():
+            totals["forwarded"] += switch.stats.forwarded
+            totals["trimmed"] += switch.stats.trimmed
+            totals["dropped"] += switch.stats.dropped
+        return totals
+
+
+def dumbbell(
+    pairs: int = 2,
+    edge_rate_bps: float = 100 * GBPS,
+    bottleneck_rate_bps: float = 100 * GBPS,
+    delay_s: float = 1e-6,
+    trim_policy: Optional[TrimPolicy] = None,
+    buffer_bytes: int = 60_000,
+    ecn_threshold_bytes: Optional[int] = None,
+) -> Network:
+    """Classic dumbbell: senders -> S0 == S1 -> receivers.
+
+    ``pairs`` sender/receiver pairs share one bottleneck cable, the
+    canonical setup for studying congestion at a single queue.  Senders
+    are ``tx0..`` and receivers ``rx0..``.
+    """
+    net = Network()
+    for side in ("s0", "s1"):
+        net.add_switch(
+            side,
+            trim_policy=trim_policy,
+            buffer_bytes=buffer_bytes,
+            ecn_threshold_bytes=ecn_threshold_bytes,
+        )
+    for i in range(pairs):
+        net.add_host(f"tx{i}")
+        net.add_host(f"rx{i}")
+        net.connect(f"tx{i}", "s0", rate_bps=edge_rate_bps, delay_s=delay_s)
+        net.connect(f"rx{i}", "s1", rate_bps=edge_rate_bps, delay_s=delay_s)
+    net.connect("s0", "s1", rate_bps=bottleneck_rate_bps, delay_s=delay_s)
+    net.build_routes()
+    return net
+
+
+def leaf_spine(
+    leaves: int = 2,
+    spines: int = 2,
+    hosts_per_leaf: int = 4,
+    host_rate_bps: float = 100 * GBPS,
+    fabric_rate_bps: float = 100 * GBPS,
+    delay_s: float = 1e-6,
+    trim_policy: Optional[TrimPolicy] = None,
+    buffer_bytes: int = 60_000,
+    ecn_threshold_bytes: Optional[int] = None,
+) -> Network:
+    """Two-tier Clos: every leaf connects to every spine.
+
+    Hosts are named ``h<leaf>_<index>``; oversubscription is controlled
+    by the ``hosts_per_leaf * host_rate / (spines * fabric_rate)`` ratio
+    — the paper's motivating setting is an over-subscribed second-layer
+    fabric between training clusters.
+    """
+    net = Network()
+    for s in range(spines):
+        net.add_switch(
+            f"spine{s}",
+            trim_policy=trim_policy,
+            buffer_bytes=buffer_bytes,
+            ecn_threshold_bytes=ecn_threshold_bytes,
+        )
+    for leaf in range(leaves):
+        net.add_switch(
+            f"leaf{leaf}",
+            trim_policy=trim_policy,
+            buffer_bytes=buffer_bytes,
+            ecn_threshold_bytes=ecn_threshold_bytes,
+        )
+        for s in range(spines):
+            net.connect(f"leaf{leaf}", f"spine{s}", rate_bps=fabric_rate_bps, delay_s=delay_s)
+        for i in range(hosts_per_leaf):
+            name = f"h{leaf}_{i}"
+            net.add_host(name)
+            net.connect(name, f"leaf{leaf}", rate_bps=host_rate_bps, delay_s=delay_s)
+    net.build_routes()
+    return net
+
+
+def fat_tree(
+    k: int = 4,
+    rate_bps: float = 100 * GBPS,
+    delay_s: float = 1e-6,
+    trim_policy: Optional[TrimPolicy] = None,
+    buffer_bytes: int = 60_000,
+    ecn_threshold_bytes: Optional[int] = None,
+) -> Network:
+    """A k-ary fat-tree (k even): k pods, k²/4 cores, k²*k/4 hosts.
+
+    Kept small by default (k=4 → 16 hosts, 20 switches); used by the
+    larger closed-loop trimming studies.
+    """
+    if k % 2 != 0 or k < 2:
+        raise ValueError(f"fat-tree degree k must be even and >= 2, got {k}")
+    net = Network()
+    half = k // 2
+
+    def sw(name: str) -> None:
+        net.add_switch(
+            name,
+            trim_policy=trim_policy,
+            buffer_bytes=buffer_bytes,
+            ecn_threshold_bytes=ecn_threshold_bytes,
+        )
+
+    cores = [f"core{i}" for i in range(half * half)]
+    for name in cores:
+        sw(name)
+    for pod in range(k):
+        aggs = [f"agg{pod}_{i}" for i in range(half)]
+        edges = [f"edge{pod}_{i}" for i in range(half)]
+        for name in aggs + edges:
+            sw(name)
+        for a, agg in enumerate(aggs):
+            for c in range(half):
+                net.connect(agg, cores[a * half + c], rate_bps=rate_bps, delay_s=delay_s)
+            for edge in edges:
+                net.connect(agg, edge, rate_bps=rate_bps, delay_s=delay_s)
+        for e, edge in enumerate(edges):
+            for h in range(half):
+                name = f"h{pod}_{e}_{h}"
+                net.add_host(name)
+                net.connect(name, edge, rate_bps=rate_bps, delay_s=delay_s)
+    net.build_routes()
+    return net

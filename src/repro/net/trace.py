@@ -1,0 +1,134 @@
+"""Per-packet event tracing (a tcpdump for the simulator).
+
+Attach a :class:`PacketTracer` to devices and links to record every
+significant event — send, forward, trim, drop, deliver — with
+timestamps.  Used to debug transports and to answer §5.1-style questions
+("which packets did the switch choose to trim, and when?") that
+aggregate counters cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..packet.packet import Packet
+from .host import Host
+from .link import Link
+from .simulator import Simulator
+from .switch import Switch
+
+__all__ = ["TraceEvent", "PacketTracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed packet event."""
+
+    time: float
+    kind: str  # "send" | "forward" | "trim" | "drop" | "deliver"
+    node: str
+    packet_id: int
+    flow_id: int
+    seq: int
+    wire_size: int
+    is_trimmed: bool
+
+    def __str__(self) -> str:
+        trimmed = " (trimmed)" if self.is_trimmed else ""
+        return (
+            f"{self.time*1e6:10.2f}us {self.kind:>8} @{self.node:<8} "
+            f"flow={self.flow_id} seq={self.seq} {self.wire_size}B{trimmed}"
+        )
+
+
+class PacketTracer:
+    """Wrap devices so their packet events land in one ordered log.
+
+    Wrapping is by delegation: the tracer monkey-patches the instance's
+    ``receive``/``send``/``forward`` with recording versions.  Only the
+    given instances are affected; wrapping is idempotent per instance.
+    """
+
+    def __init__(self, sim: Simulator, max_events: int = 100_000) -> None:
+        self.sim = sim
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self._wrapped: set[int] = set()
+
+    def _record(self, kind: str, node: str, packet: Packet) -> None:
+        if len(self.events) >= self.max_events:
+            return
+        self.events.append(
+            TraceEvent(
+                time=self.sim.now,
+                kind=kind,
+                node=node,
+                packet_id=packet.packet_id,
+                flow_id=packet.flow_id,
+                seq=packet.seq,
+                wire_size=packet.wire_size,
+                is_trimmed=packet.is_trimmed,
+            )
+        )
+
+    # -- wrapping -------------------------------------------------------------
+
+    def attach_host(self, host: Host) -> None:
+        """Record sends and deliveries at a host."""
+        if id(host) in self._wrapped:
+            return
+        self._wrapped.add(id(host))
+        original_send = host.send
+        original_receive = host.receive
+
+        def send(packet: Packet) -> bool:
+            self._record("send", host.name, packet)
+            return original_send(packet)
+
+        def receive(packet: Packet, ingress=None) -> None:
+            self._record("deliver", host.name, packet)
+            original_receive(packet, ingress)
+
+        host.send = send  # type: ignore[method-assign]
+        host.receive = receive  # type: ignore[method-assign]
+
+    def attach_switch(self, switch: Switch) -> None:
+        """Record forwards, trims, and drops at a switch."""
+        if id(switch) in self._wrapped:
+            return
+        self._wrapped.add(id(switch))
+        original_forward = switch.forward
+
+        def forward(packet: Packet, link: Link) -> None:
+            before = (switch.stats.forwarded, switch.stats.trimmed, switch.stats.dropped)
+            original_forward(packet, link)
+            after = (switch.stats.forwarded, switch.stats.trimmed, switch.stats.dropped)
+            if after[0] > before[0]:
+                self._record("forward", switch.name, packet)
+            elif after[1] > before[1]:
+                self._record("trim", switch.name, packet)
+            elif after[2] > before[2]:
+                self._record("drop", switch.name, packet)
+
+        switch.forward = forward  # type: ignore[method-assign]
+
+    # -- queries ----------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def of_flow(self, flow_id: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.flow_id == flow_id]
+
+    def packet_history(self, packet_id: int) -> List[TraceEvent]:
+        """Every recorded event of one packet, in time order."""
+        return [e for e in self.events if e.packet_id == packet_id]
+
+    def render(self, limit: Optional[int] = 50) -> str:
+        """Human-readable log (first ``limit`` events)."""
+        shown = self.events if limit is None else self.events[:limit]
+        lines = [str(e) for e in shown]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

@@ -1,0 +1,260 @@
+"""Layers and the Module container.
+
+A deliberately PyTorch-flavoured API (``Module``, ``parameters()``,
+``train()``/``eval()``) so the distributed trainer reads naturally to
+anyone coming from the paper's DDP prototype.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "Flatten",
+    "Dropout",
+    "Sequential",
+]
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always requires grad)."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class: parameter discovery, train/eval mode, call syntax."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def forward(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters, depth-first, deterministic order."""
+        found: List[Parameter] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            self._collect(value, found, seen)
+        return found
+
+    @staticmethod
+    def _collect(value, found: List[Parameter], seen: set) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+        elif isinstance(value, Module):
+            for p in value.parameters():
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    found.append(p)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                Module._collect(item, found, seen)
+
+    def modules(self) -> Iterator["Module"]:
+        """This module and all submodules, depth-first."""
+        yield self
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # -- flat parameter/gradient views (what the network actually carries) --
+
+    def flat_gradient(self) -> np.ndarray:
+        """All gradients concatenated — the collective message payload."""
+        chunks = []
+        for p in self.parameters():
+            grad = p.grad if p.grad is not None else np.zeros_like(p.data)
+            chunks.append(grad.reshape(-1))
+        return np.concatenate(chunks) if chunks else np.zeros(0)
+
+    def load_flat_gradient(self, flat: np.ndarray) -> None:
+        """Scatter a flat gradient vector back into per-parameter grads."""
+        flat = np.asarray(flat, dtype=np.float64)
+        offset = 0
+        for p in self.parameters():
+            p.grad = flat[offset : offset + p.size].reshape(p.shape).copy()
+            offset += p.size
+        if offset != flat.size:
+            raise ValueError(f"flat gradient has {flat.size} entries, model needs {offset}")
+
+    def flat_parameters(self) -> np.ndarray:
+        """All parameter values concatenated (FSDP gather payload)."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0)
+        return np.concatenate([p.data.reshape(-1) for p in params])
+
+    def load_flat_parameters(self, flat: np.ndarray) -> None:
+        """Overwrite parameters from a flat vector."""
+        flat = np.asarray(flat, dtype=np.float64)
+        offset = 0
+        for p in self.parameters():
+            p.data[...] = flat[offset : offset + p.size].reshape(p.shape)
+            offset += p.size
+        if offset != flat.size:
+            raise ValueError(f"flat parameters have {flat.size} entries, model needs {offset}")
+
+
+class Linear(Module):
+    """Fully connected layer with Kaiming-uniform init."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        super().__init__()
+        bound = np.sqrt(6.0 / in_features)
+        self.weight = Parameter(rng.uniform(-bound, bound, (in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class Conv2d(Module):
+    """3x3-style convolution layer, NCHW."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+    ):
+        super().__init__()
+        fan_in = in_channels * kernel_size * kernel_size
+        bound = np.sqrt(6.0 / fan_in)
+        self.weight = Parameter(
+            rng.uniform(-bound, bound, (out_channels, in_channels, kernel_size, kernel_size))
+        )
+        self.bias = Parameter(np.zeros(out_channels))
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over (N, H, W) per channel, with running stats."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.gamma = Parameter(np.ones(channels))
+        self.beta = Parameter(np.zeros(channels))
+        self.momentum = momentum
+        self.eps = eps
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        c = x.shape[1]
+        shape = (1, c, 1, 1)
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean
+                + self.momentum * mean.data.reshape(-1)
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var
+                + self.momentum * var.data.reshape(-1)
+            )
+            inv_std = (var + self.eps) ** -0.5
+            normalized = centered * inv_std
+        else:
+            mean = Tensor(self.running_mean.reshape(shape))
+            inv_std = Tensor(1.0 / np.sqrt(self.running_var.reshape(shape) + self.eps))
+            normalized = (x - mean) * inv_std
+        return normalized * self.gamma.reshape(shape) + self.beta.reshape(shape)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel: int = 2):
+        super().__init__()
+        self.kernel = kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, seed: int = 0):
+        super().__init__()
+        self.p = p
+        self.rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

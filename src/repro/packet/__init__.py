@@ -1,0 +1,47 @@
+"""Wire substrate: bit packing, headers, packets, and trim policies."""
+
+from .bitpack import pack_bits, pack_signs, packed_size, unpack_bits, unpack_signs
+from .header import (
+    ETHERNET_HEADER_BYTES,
+    FLAG_METADATA,
+    FLAG_TRIMMED,
+    GRADIENT_HEADER_BYTES,
+    IPV4_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+    WIRE_HEADER_BYTES,
+    GradientHeader,
+)
+from .packet import DEFAULT_MTU_BYTES, MAX_MTU_BYTES, Packet
+from .trim import (
+    MultiLevelTrim,
+    NeverTrim,
+    SingleLevelTrim,
+    TrimDecision,
+    TrimPolicy,
+    trim_to_bits,
+)
+
+__all__ = [
+    "pack_bits",
+    "pack_signs",
+    "packed_size",
+    "unpack_bits",
+    "unpack_signs",
+    "ETHERNET_HEADER_BYTES",
+    "FLAG_METADATA",
+    "FLAG_TRIMMED",
+    "GRADIENT_HEADER_BYTES",
+    "IPV4_HEADER_BYTES",
+    "UDP_HEADER_BYTES",
+    "WIRE_HEADER_BYTES",
+    "GradientHeader",
+    "DEFAULT_MTU_BYTES",
+    "MAX_MTU_BYTES",
+    "Packet",
+    "MultiLevelTrim",
+    "NeverTrim",
+    "SingleLevelTrim",
+    "TrimDecision",
+    "TrimPolicy",
+    "trim_to_bits",
+]

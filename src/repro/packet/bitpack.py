@@ -1,0 +1,78 @@
+"""Bit-level packing for P-bit gradient heads.
+
+The trimmable layout (paper Section 2) stores one ``P``-bit head per
+coordinate densely at the front of the payload.  This module packs and
+unpacks arrays of small unsigned integers to/from bytes, MSB-first within
+each byte (network order), for any ``1 <= bits <= 32``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "packed_size",
+    "pack_bits",
+    "unpack_bits",
+    "pack_signs",
+    "unpack_signs",
+]
+
+
+def packed_size(count: int, bits: int) -> int:
+    """Bytes needed to store ``count`` values of ``bits`` bits each."""
+    _check_bits(bits)
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return -(-count * bits // 8)  # ceil(count*bits / 8)
+
+
+def _check_bits(bits: int) -> None:
+    if not 1 <= bits <= 32:
+        raise ValueError(f"bits must be in [1, 32], got {bits}")
+
+
+def pack_bits(values: np.ndarray, bits: int) -> bytes:
+    """Pack unsigned integers of width ``bits`` into bytes, MSB-first.
+
+    Values must already be in ``[0, 2**bits)``; out-of-range input raises.
+    """
+    _check_bits(bits)
+    values = np.asarray(values, dtype=np.uint64).reshape(-1)
+    if values.size and int(values.max()) >= (1 << bits):
+        raise ValueError(f"value {int(values.max())} does not fit in {bits} bits")
+    if values.size == 0:
+        return b""
+    # Expand each value into its `bits` bits (MSB first), then let numpy
+    # pack the flat bit-stream into bytes.
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
+    bitstream = ((values[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bitstream.reshape(-1)).tobytes()
+
+
+def unpack_bits(data: bytes, count: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns ``count`` values as uint32."""
+    _check_bits(bits)
+    need = packed_size(count, bits)
+    if len(data) < need:
+        raise ValueError(f"need {need} bytes to unpack {count}x{bits}-bit, got {len(data)}")
+    if count == 0:
+        return np.zeros(0, dtype=np.uint32)
+    bitstream = np.unpackbits(np.frombuffer(data[:need], dtype=np.uint8))
+    bitstream = bitstream[: count * bits].reshape(count, bits).astype(np.uint64)
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
+    values = (bitstream << shifts).sum(axis=1)
+    return values.astype(np.uint32)
+
+
+def pack_signs(signs: np.ndarray) -> bytes:
+    """Pack a ±1 (or boolean) array as 1 bit per entry (+1 -> 1, -1 -> 0)."""
+    arr = np.asarray(signs).reshape(-1)
+    bits = (arr > 0).astype(np.uint8)
+    return pack_bits(bits, 1)
+
+
+def unpack_signs(data: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_signs`; returns a float64 ±1 array."""
+    bits = unpack_bits(data, count, 1)
+    return bits.astype(np.float64) * 2.0 - 1.0

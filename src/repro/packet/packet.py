@@ -1,0 +1,127 @@
+"""The on-the-wire packet object used throughout the simulator.
+
+A :class:`Packet` models one datagram: addressing, the 42-byte standard
+wire header (sized but not serialized — the simulator does not route real
+Ethernet frames), an optional :class:`~repro.packet.header.GradientHeader`
+and an opaque payload.  ``wire_size`` is what queues and links account
+for; ``trim()`` produces the trimmed twin the switch forwards instead of
+dropping.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .header import FLAG_TRIMMED, GRADIENT_HEADER_BYTES, WIRE_HEADER_BYTES, GradientHeader
+
+__all__ = ["Packet", "MAX_MTU_BYTES", "DEFAULT_MTU_BYTES"]
+
+DEFAULT_MTU_BYTES = 1500
+MAX_MTU_BYTES = 9000
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One datagram in flight.
+
+    Attributes:
+        src: source host name.
+        dst: destination host name.
+        payload: application payload bytes (starts with the gradient
+            header when ``grad_header`` is set).
+        grad_header: parsed gradient header, if this is gradient traffic.
+        priority: queueing priority; 0 = normal, higher = more urgent
+            (trimmed headers travel at priority 1, like NDP).
+        flow_id: transport flow this packet belongs to.
+        seq: transport sequence number.
+        seq_total: number of packets in this transport message (0 when
+            the packet is not part of a framed message).
+        is_ack: transport-level ACK/NACK/pull control packet.
+        nack: for control packets, True marks a negative acknowledgement
+            (NDP-style: the receiver saw a trimmed/lost packet it needs
+            retransmitted).
+        pull: for control packets, True grants the sender one more
+            transmission credit (NDP's receiver-driven pacing).
+        trimmed_echo: for ACKs, True tells the sender the acknowledged
+            packet arrived trimmed (congestion feedback + stats).
+        ecn: ECN-CE mark applied by a congested switch (echoed back on
+            ACKs for DCTCP-style control).
+        created_at: simulator time the packet entered the network.
+        packet_id: unique id (for traces and trim transcripts).
+        trimmed_from: original wire size if this packet was trimmed.
+    """
+
+    src: str
+    dst: str
+    payload: bytes = b""
+    grad_header: Optional[GradientHeader] = None
+    priority: int = 0
+    flow_id: int = 0
+    seq: int = 0
+    seq_total: int = 0
+    is_ack: bool = False
+    nack: bool = False
+    pull: bool = False
+    trimmed_echo: bool = False
+    ecn: bool = False
+    created_at: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    trimmed_from: Optional[int] = None
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes this packet occupies on a link / in a queue."""
+        return WIRE_HEADER_BYTES + len(self.payload)
+
+    @property
+    def is_trimmed(self) -> bool:
+        """True when a switch trimmed this packet."""
+        return self.trimmed_from is not None
+
+    @property
+    def is_gradient(self) -> bool:
+        """True for trimmable gradient data packets."""
+        return self.grad_header is not None and not self.is_ack
+
+    def trimmable_bytes(self) -> Optional[int]:
+        """Payload bytes a switch must keep when trimming, or None.
+
+        For gradient packets this is the gradient header plus the packed
+        heads (``ceil(P*n/8)`` bytes); anything else is not trimmable and
+        must be dropped instead when the buffer is full.
+        """
+        if self.grad_header is None or self.is_ack or self.grad_header.is_metadata:
+            return None
+        hdr = self.grad_header
+        heads = -(-hdr.head_bits * hdr.coord_count // 8)
+        keep = GRADIENT_HEADER_BYTES + heads
+        if keep >= len(self.payload):
+            return None  # nothing to cut
+        return keep
+
+    def trim(self) -> "Packet":
+        """Return the trimmed twin of this packet (original is untouched).
+
+        Raises ``ValueError`` when the packet is not trimmable.
+        """
+        keep = self.trimmable_bytes()
+        if keep is None:
+            raise ValueError(f"packet {self.packet_id} is not trimmable")
+        assert self.grad_header is not None
+        new_header = self.grad_header.with_flags(FLAG_TRIMMED)
+        new_payload = new_header.to_bytes() + self.payload[GRADIENT_HEADER_BYTES:keep]
+        return replace(
+            self,
+            payload=new_payload,
+            grad_header=new_header,
+            priority=max(self.priority, 1),
+            trimmed_from=self.wire_size,
+        )
+
+    def clone(self) -> "Packet":
+        """Copy with a fresh packet id (for retransmission accounting)."""
+        return replace(self, packet_id=next(_packet_ids))

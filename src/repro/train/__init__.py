@@ -1,0 +1,34 @@
+"""Distributed training on top of the codecs, collectives, and cost model."""
+
+from .adaptive import AdaptiveQController, BudgetedLinkChannel
+from .network_channel import NetworkChannel
+from .ddp import (
+    DDPTrainer,
+    EpochRecord,
+    TrainConfig,
+    TrainingHistory,
+    shard_dataset,
+)
+from .fsdp import FSDPTrainer
+from .replay import TrimTranscript
+from .timing import RoundTime, RoundTimeModel, TimingConfig, measure_codec_throughput
+from .trim_channel import BaselineDropChannel, TrimChannel
+
+__all__ = [
+    "AdaptiveQController",
+    "BudgetedLinkChannel",
+    "NetworkChannel",
+    "DDPTrainer",
+    "EpochRecord",
+    "TrainConfig",
+    "TrainingHistory",
+    "shard_dataset",
+    "FSDPTrainer",
+    "TrimTranscript",
+    "RoundTime",
+    "RoundTimeModel",
+    "TimingConfig",
+    "measure_codec_throughput",
+    "BaselineDropChannel",
+    "TrimChannel",
+]

@@ -1,0 +1,262 @@
+"""Distributed data-parallel training with pluggable gradient channels.
+
+The experiment engine behind Figures 3 and 4.  Faithful to the paper's
+methodology: hold every hyper-parameter fixed ("SGD with momentum 0.9,
+initial learning rate 1e-3 with StepLR, cross-entropy, batch size 64,
+data augmentation") and vary only how gradients are aggregated between
+workers — baseline, or a trimmable codec at some trim rate.
+
+Implementation note: because synchronous DDP keeps all replicas
+bit-identical (same aggregated gradient, same optimizer state), we hold
+*one* model and run the per-worker forward/backward passes sequentially
+on each worker's shard — mathematically identical to N replicas at 1/N
+memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..collectives.hooks import AllReduceHook, CommHook
+from ..nn.data import DataLoader, SyntheticImages
+from ..nn.functional import cross_entropy
+from ..nn.layers import Module
+from ..nn.metrics import evaluate
+from ..nn.optim import SGD, StepLR
+from ..nn.tensor import Tensor
+from .timing import RoundTime, RoundTimeModel
+
+__all__ = ["TrainConfig", "EpochRecord", "TrainingHistory", "DDPTrainer", "shard_dataset"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters, defaulting to the paper's recipe (footnote 4)."""
+
+    epochs: int = 20
+    batch_size: int = 64
+    lr: float = 1e-3
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    step_size: int = 50
+    gamma: float = 0.1
+    label_smoothing: float = 0.0
+    augment: bool = True
+    seed: int = 0
+
+
+@dataclass
+class EpochRecord:
+    """One epoch's results: quality, modeled wall-clock, channel stats."""
+
+    epoch: int
+    train_loss: float
+    top1: float
+    top5: float
+    round_time: RoundTime
+    wall_clock_s: float  # cumulative modeled time at epoch end
+    trim_fraction: float
+    diverged: bool = False
+
+
+class TrainingHistory:
+    """Per-epoch records plus the Figure 3/4 query helpers."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.records: List[EpochRecord] = []
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def final_top1(self) -> float:
+        return self.records[-1].top1 if self.records else 0.0
+
+    @property
+    def final_top5(self) -> float:
+        return self.records[-1].top5 if self.records else 0.0
+
+    @property
+    def best_top1(self) -> float:
+        return max((r.top1 for r in self.records), default=0.0)
+
+    @property
+    def diverged(self) -> bool:
+        return any(r.diverged for r in self.records)
+
+    def accuracy_curve(self) -> List[tuple[float, float]]:
+        """(wall_clock_s, top1) series — one Figure 3 line."""
+        return [(r.wall_clock_s, r.top1) for r in self.records]
+
+    def time_to_accuracy(self, target_top1: float) -> Optional[float]:
+        """Modeled seconds until top-1 first reaches ``target`` (Fig. 4)."""
+        for record in self.records:
+            if record.top1 >= target_top1:
+                return record.wall_clock_s
+        return None
+
+    def total_time(self) -> float:
+        return self.records[-1].wall_clock_s if self.records else 0.0
+
+
+def shard_dataset(dataset: SyntheticImages, world_size: int) -> List[SyntheticImages]:
+    """Round-robin split, the DistributedSampler equivalent."""
+    if world_size < 1:
+        raise ValueError("world_size must be at least 1")
+    shards = []
+    for rank in range(world_size):
+        shards.append(
+            SyntheticImages(
+                images=dataset.images[rank::world_size],
+                labels=dataset.labels[rank::world_size],
+            )
+        )
+    return shards
+
+
+class DDPTrainer:
+    """Synchronous data-parallel training through a gradient hook.
+
+    Args:
+        model: the network (single copy; see module docstring).
+        train_set / test_set: dataset splits.
+        world_size: number of simulated workers.
+        hook: gradient aggregation hook (None = perfect all-reduce).
+        config: hyper-parameters.
+        time_model: wall-clock cost model (None = count no time).
+        codec_name: codec label for the time model (None = baseline).
+        trim_rate / drop_rate: congestion levels for the time model.
+        divergence_loss: abort threshold — training whose epoch loss
+            exceeds this (or goes NaN) is flagged diverged, like the
+            sign codec at >= 2 % trim in the paper.
+        optimizer_factory: callable mapping the parameter list to an
+            optimizer (default: the paper's SGD+momentum from config) —
+            used by the optimizer-sensitivity ablation.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        train_set: SyntheticImages,
+        test_set: SyntheticImages,
+        world_size: int = 2,
+        hook: Optional[CommHook] = None,
+        config: Optional[TrainConfig] = None,
+        time_model: Optional[RoundTimeModel] = None,
+        codec_name: Optional[str] = None,
+        trim_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        divergence_loss: float = 50.0,
+        label: Optional[str] = None,
+        optimizer_factory=None,
+    ) -> None:
+        self.model = model
+        self.test_set = test_set
+        self.world_size = world_size
+        self.hook = hook or AllReduceHook()
+        self.config = config or TrainConfig()
+        self.time_model = time_model
+        self.codec_name = codec_name
+        self.trim_rate = trim_rate
+        self.drop_rate = drop_rate
+        self.divergence_loss = divergence_loss
+        self.label = label or (codec_name or "baseline")
+
+        cfg = self.config
+        if optimizer_factory is not None:
+            self.optimizer = optimizer_factory(model.parameters())
+        else:
+            self.optimizer = SGD(
+                model.parameters(),
+                lr=cfg.lr,
+                momentum=cfg.momentum,
+                weight_decay=cfg.weight_decay,
+            )
+        self.scheduler = StepLR(self.optimizer, step_size=cfg.step_size, gamma=cfg.gamma)
+        self.loaders = [
+            DataLoader(
+                shard,
+                batch_size=cfg.batch_size,
+                shuffle=True,
+                augment=cfg.augment,
+                seed=cfg.seed + rank,
+            )
+            for rank, shard in enumerate(shard_dataset(train_set, world_size))
+        ]
+        self.num_coords = model.num_parameters()
+        self.history = TrainingHistory(self.label)
+        self._rounds_run = 0
+
+    # -- one synchronous round -------------------------------------------------
+
+    def _round(self, batches, epoch: int) -> float:
+        """Forward/backward per worker, aggregate, step.  Returns loss."""
+        grads: List[np.ndarray] = []
+        losses: List[float] = []
+        for images, labels in batches:
+            self.model.zero_grad()
+            loss = cross_entropy(
+                self.model(Tensor(images)),
+                labels,
+                label_smoothing=self.config.label_smoothing,
+            )
+            loss.backward()
+            grads.append(self.model.flat_gradient())
+            losses.append(loss.item())
+        aggregated = self.hook.aggregate(grads, epoch=epoch)
+        self.model.load_flat_gradient(aggregated)
+        self.optimizer.step()
+        self._rounds_run += 1
+        return float(np.mean(losses))
+
+    def _epoch_round_time(self) -> RoundTime:
+        if self.time_model is None:
+            return RoundTime(0.0, 0.0, 0.0)
+        return self.time_model.round_time(
+            self.num_coords,
+            codec_name=self.codec_name,
+            trim_rate=self.trim_rate,
+            drop_rate=self.drop_rate,
+            world_size=self.world_size,
+        )
+
+    # -- training loop --------------------------------------------------------------
+
+    def train(self, epochs: Optional[int] = None) -> TrainingHistory:
+        """Run the configured number of epochs; returns the history."""
+        epochs = epochs if epochs is not None else self.config.epochs
+        round_time = self._epoch_round_time()
+        wall_clock = 0.0
+        for epoch in range(1, epochs + 1):
+            epoch_losses: List[float] = []
+            diverged = False
+            for batches in zip(*self.loaders):
+                loss = self._round(batches, epoch=epoch)
+                epoch_losses.append(loss)
+                if not np.isfinite(loss) or loss > self.divergence_loss:
+                    diverged = True
+                    break
+            rounds_this_epoch = len(epoch_losses)
+            wall_clock += rounds_this_epoch * round_time.total_s
+            accuracy = evaluate(self.model, self.test_set)
+            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+            self.history.append(
+                EpochRecord(
+                    epoch=epoch,
+                    train_loss=mean_loss,
+                    top1=accuracy[1],
+                    top5=accuracy.get(5, accuracy[1]),
+                    round_time=round_time,
+                    wall_clock_s=wall_clock,
+                    trim_fraction=self.hook.stats.trim_fraction,
+                    diverged=diverged,
+                )
+            )
+            if diverged:
+                break
+            self.scheduler.step()
+        return self.history

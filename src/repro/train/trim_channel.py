@@ -1,0 +1,161 @@
+"""Bernoulli packet-trim channel — the paper's congestion emulation.
+
+The authors could not change NCCL's wire format, so their evaluation
+"simulate[s] the effect of congestion using pre-set random probabilistic
+dropping/trimming": each gradient packet is independently trimmed with a
+fixed probability, and trimmed coordinates are replaced by their decoded
+quantized value.  :class:`TrimChannel` reproduces that exactly on top of
+the real codecs: encode → per-packet Bernoulli trim → decode, with
+wall-clock encode/decode timing captured for the Figure 5 breakdown, and
+an optional Section 5.4 transcript for record/replay.
+
+:class:`BaselineDropChannel` models the unmodified-NCCL baseline: data
+always arrives bit-exact (reliability), but drops are counted so the
+timing model can charge the retransmission stalls of Section 4.4.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..collectives.channel import GradientChannel
+from ..core.codec import GradientCodec
+from ..core.layout import coords_per_packet
+from ..packet.header import GRADIENT_HEADER_BYTES, WIRE_HEADER_BYTES
+from ..transforms.prng import shared_generator
+from .replay import TrimTranscript
+
+__all__ = ["TrimChannel", "BaselineDropChannel"]
+
+
+class TrimChannel(GradientChannel):
+    """Codec + per-packet Bernoulli trimming.
+
+    Args:
+        codec: any registered :class:`GradientCodec` (sign/sq/sd/rht).
+        trim_rate: probability each data packet is trimmed to its heads.
+        mtu: packet size used to derive coordinates-per-packet.
+        seed: trim-pattern seed (independent of the codec's seed).
+        record: transcript to append trim decisions to (Section 5.4).
+        replay: transcript to *read* trim decisions from instead of
+            drawing random ones — reproduces a previous run exactly.
+    """
+
+    def __init__(
+        self,
+        codec: GradientCodec,
+        trim_rate: float,
+        mtu: int = 1500,
+        seed: int = 0,
+        record: Optional[TrimTranscript] = None,
+        replay: Optional[TrimTranscript] = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= trim_rate <= 1.0:
+            raise ValueError(f"trim_rate must be in [0, 1], got {trim_rate}")
+        if record is not None and replay is not None:
+            raise ValueError("cannot record and replay the same run")
+        self.codec = codec
+        self.trim_rate = trim_rate
+        self.mtu = mtu
+        self.seed = seed
+        self.record = record
+        self.replay = replay
+        self.coords_per_pkt = coords_per_packet(mtu, codec.head_bits, codec.tail_bits)
+        # Wire sizes for byte accounting (per full/trimmed data packet).
+        full_bits = (codec.head_bits + codec.tail_bits) * self.coords_per_pkt
+        head_bits = codec.head_bits * self.coords_per_pkt
+        self._full_packet_bytes = WIRE_HEADER_BYTES + GRADIENT_HEADER_BYTES + (
+            -(-full_bits // 8)
+        )
+        self._trimmed_packet_bytes = WIRE_HEADER_BYTES + GRADIENT_HEADER_BYTES + (
+            -(-head_bits // 8)
+        )
+
+    def _trim_mask(
+        self, num_packets: int, epoch: int, message_id: int, worker: int
+    ) -> np.ndarray:
+        if self.replay is not None:
+            indices = self.replay.lookup(epoch, message_id, worker)
+            mask = np.zeros(num_packets, dtype=bool)
+            mask[np.asarray(indices, dtype=int)] = True
+            return mask
+        gen = shared_generator(
+            self.seed * 1_000_003 + worker, epoch, message_id, purpose="trim"
+        )
+        mask = gen.random(num_packets) < self.trim_rate
+        if self.record is not None:
+            self.record.record(epoch, message_id, worker, np.flatnonzero(mask).tolist())
+        return mask
+
+    def transfer(
+        self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0, worker: int = 0
+    ) -> np.ndarray:
+        flat = np.asarray(flat, dtype=np.float64)
+
+        t0 = time.perf_counter()
+        enc = self.codec.encode(flat, epoch=epoch, message_id=message_id)
+        t1 = time.perf_counter()
+
+        num_packets = -(-enc.length // self.coords_per_pkt)
+        packet_mask = self._trim_mask(num_packets, epoch, message_id, worker)
+        coord_mask = np.repeat(packet_mask, self.coords_per_pkt)[: enc.length]
+
+        t2 = time.perf_counter()
+        decoded = self.codec.decode(enc, trimmed=coord_mask)
+        t3 = time.perf_counter()
+
+        trimmed_count = int(packet_mask.sum())
+        self.stats.messages += 1
+        self.stats.coordinates += flat.size
+        self.stats.packets_total += num_packets
+        self.stats.packets_trimmed += trimmed_count
+        self.stats.bytes_sent += (
+            (num_packets - trimmed_count) * self._full_packet_bytes
+            + trimmed_count * self._trimmed_packet_bytes
+        )
+        self.stats.bytes_saved_by_trim += trimmed_count * (
+            self._full_packet_bytes - self._trimmed_packet_bytes
+        )
+        self.stats.encode_seconds += t1 - t0
+        self.stats.decode_seconds += t3 - t2
+        return decoded
+
+
+class BaselineDropChannel(GradientChannel):
+    """Unmodified-NCCL baseline: bit-exact delivery, drops cost time.
+
+    A reliable transport retransmits every dropped packet, so the
+    *values* are unaffected; the damage is pure latency.  The channel
+    counts Bernoulli drops so :class:`repro.train.timing.RoundTimeModel`
+    can convert them into the go-back-N stalls of Section 4.4.
+    """
+
+    def __init__(self, drop_rate: float = 0.0, mtu: int = 1500, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1], got {drop_rate}")
+        self.drop_rate = drop_rate
+        self.mtu = mtu
+        self.seed = seed
+        self._payload_bytes = mtu - WIRE_HEADER_BYTES
+
+    def transfer(
+        self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0, worker: int = 0
+    ) -> np.ndarray:
+        flat = np.asarray(flat, dtype=np.float64)
+        num_packets = -(-flat.size * 4 // self._payload_bytes)
+        gen = shared_generator(
+            self.seed * 1_000_003 + worker, epoch, message_id, purpose="trim"
+        )
+        dropped = int((gen.random(num_packets) < self.drop_rate).sum())
+        self.stats.messages += 1
+        self.stats.coordinates += flat.size
+        self.stats.packets_total += num_packets
+        self.stats.packets_dropped += dropped
+        # Retransmissions put the dropped packets on the wire again.
+        self.stats.bytes_sent += (num_packets + dropped) * self.mtu
+        return flat.copy()

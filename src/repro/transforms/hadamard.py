@@ -1,0 +1,87 @@
+"""Fast Walsh-Hadamard transform (FWHT).
+
+The paper's RHT codec (Section 3.2) uses the ``fast-hadamard-transform``
+CUDA kernel; this module is the numpy substitute.  The transform is the
+classic in-place butterfly: for a vector of length ``d = 2**k`` it runs in
+``O(d log d)`` and is fully vectorized over a batch of rows, which plays
+the role of GPU parallelism (each row fits the GPU L1 working set in the
+paper; here each row is one numpy slice).
+
+We use the *orthonormal* convention ``H_d = H / sqrt(d)`` where ``H`` is
+the {+1,-1} Hadamard matrix, so the transform is an involution:
+``fwht(fwht(x)) == x`` and norms are preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "is_power_of_two",
+    "next_power_of_two",
+    "fwht",
+    "fwht_inplace",
+    "hadamard_matrix",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= n (n must be positive)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def fwht_inplace(x: np.ndarray) -> np.ndarray:
+    """In-place orthonormal FWHT along the last axis.
+
+    Args:
+        x: float array whose last dimension is a power of two.  Modified
+            in place and also returned for convenience.
+
+    Returns:
+        The same array, transformed.
+    """
+    d = x.shape[-1]
+    if not is_power_of_two(d):
+        raise ValueError(f"last dimension must be a power of two, got {d}")
+    h = 1
+    # Standard iterative butterfly.  Each pass combines pairs of blocks of
+    # width h; numpy slicing vectorizes over all rows and blocks at once.
+    while h < d:
+        shaped = x.reshape(*x.shape[:-1], d // (2 * h), 2, h)
+        a = shaped[..., 0, :].copy()
+        b = shaped[..., 1, :]
+        shaped[..., 0, :] = a + b
+        shaped[..., 1, :] = a - b
+        h *= 2
+    x *= 1.0 / np.sqrt(d)
+    return x
+
+
+def fwht(x: np.ndarray) -> np.ndarray:
+    """Orthonormal FWHT along the last axis (returns a new array).
+
+    Works on any float dtype; integer inputs are promoted to float64.
+    """
+    out = np.array(x, dtype=np.result_type(x.dtype, np.float32), copy=True)
+    return fwht_inplace(out)
+
+
+def hadamard_matrix(d: int) -> np.ndarray:
+    """Dense orthonormal Hadamard matrix of size ``d`` (power of two).
+
+    Only used by tests and documentation examples — the transform itself
+    never materializes the matrix.
+    """
+    if not is_power_of_two(d):
+        raise ValueError(f"d must be a power of two, got {d}")
+    h = np.array([[1.0]])
+    while h.shape[0] < d:
+        h = np.block([[h, h], [h, -h]])
+    return h / np.sqrt(d)

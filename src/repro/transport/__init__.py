@@ -1,0 +1,23 @@
+"""Transport substrate: congestion control, reliable and trimming stacks."""
+
+from .base import MessageSenderBase, RttEstimator, segment_bytes
+from .congestion import AIMD, DCTCP, CongestionControl, FixedWindow
+from .pull import PullReceiver, PullSender
+from .reliable import GoBackNReceiver, GoBackNSender
+from .trimming import TrimmingReceiver, TrimmingSender
+
+__all__ = [
+    "MessageSenderBase",
+    "RttEstimator",
+    "segment_bytes",
+    "AIMD",
+    "DCTCP",
+    "CongestionControl",
+    "FixedWindow",
+    "GoBackNReceiver",
+    "GoBackNSender",
+    "PullReceiver",
+    "PullSender",
+    "TrimmingReceiver",
+    "TrimmingSender",
+]

@@ -1,0 +1,202 @@
+"""Transport building blocks shared by the reliable and trimming stacks.
+
+A transport *message* is a list of packets framed with ``seq`` in
+``[0, seq_total)``.  Senders pace them with a congestion-control window,
+receivers acknowledge, and a retransmission timer backstops losses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..net.flow import FlowLog, FlowRecord
+from ..net.host import Host
+from ..net.simulator import Event
+from ..packet.packet import DEFAULT_MTU_BYTES, Packet
+from .congestion import CongestionControl, FixedWindow
+
+__all__ = ["segment_bytes", "RttEstimator", "MessageSenderBase"]
+
+
+def segment_bytes(
+    src: str,
+    dst: str,
+    num_bytes: int,
+    flow_id: int,
+    mtu: int = DEFAULT_MTU_BYTES,
+) -> List[Packet]:
+    """Split an opaque byte count into MTU-sized framed packets.
+
+    Used for non-gradient traffic (and baseline benchmarks that treat
+    the gradient as a black-box blob, exactly as NCCL does).
+    """
+    if num_bytes <= 0:
+        raise ValueError(f"num_bytes must be positive, got {num_bytes}")
+    payload_max = mtu - 42
+    packets: List[Packet] = []
+    remaining = num_bytes
+    while remaining > 0:
+        size = min(payload_max, remaining)
+        packets.append(Packet(src=src, dst=dst, payload=b"\x00" * size, flow_id=flow_id))
+        remaining -= size
+    for i, pkt in enumerate(packets):
+        pkt.seq = i
+        pkt.seq_total = len(packets)
+    return packets
+
+
+class RttEstimator:
+    """Jacobson-style smoothed RTT with a floor and backoff cap."""
+
+    def __init__(self, rto_min: float = 100e-6, rto_max: float = 100e-3):
+        self.rto_min = rto_min
+        self.rto_max = rto_max
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self._backoff = 1.0
+
+    def sample(self, rtt: float) -> None:
+        """Fold one RTT measurement in and reset timeout backoff."""
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - rtt)
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+        self._backoff = 1.0
+
+    def backoff(self) -> None:
+        """Double the timeout after an expiry (capped by rto_max)."""
+        self._backoff = min(self._backoff * 2.0, 64.0)
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout."""
+        if self.srtt is None:
+            base = self.rto_min * 4
+        else:
+            base = self.srtt + 4 * (self.rttvar or 0.0)
+        return min(self.rto_max, max(self.rto_min, base) * self._backoff)
+
+
+class MessageSenderBase:
+    """Common sender state: framing, window pacing, timer, flow log.
+
+    Subclasses implement ``_handle_control`` (ACK/NACK processing) and
+    ``_on_timeout`` (recovery), and call ``_pump`` to emit packets.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        flow_id: int,
+        cc: Optional[CongestionControl] = None,
+        rto_min: float = 100e-6,
+        rto_max: float = 100e-3,
+        log: Optional[FlowLog] = None,
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.flow_id = flow_id
+        self.cc = cc or FixedWindow()
+        self.rtt = RttEstimator(rto_min=rto_min, rto_max=rto_max)
+        self.log = log
+        self.record: Optional[FlowRecord] = None
+        self._packets: List[Packet] = []
+        self._send_times: dict[int, float] = {}
+        self._timer: Optional[Event] = None
+        self._on_complete: Optional[Callable[[], None]] = None
+        self._done = False
+        host.register_flow(flow_id, self._dispatch)
+
+    # -- public API ----------------------------------------------------------
+
+    def send_message(
+        self, packets: List[Packet], on_complete: Optional[Callable[[], None]] = None
+    ) -> None:
+        """Transmit a framed message; ``on_complete`` fires when delivered."""
+        if self._packets and not self._done:
+            raise RuntimeError(f"flow {self.flow_id}: message already in flight")
+        if not packets:
+            raise ValueError("cannot send an empty message")
+        for i, pkt in enumerate(packets):
+            pkt.seq = i
+            pkt.seq_total = len(packets)
+            pkt.flow_id = self.flow_id
+        self._packets = packets
+        self._on_complete = on_complete
+        self._done = False
+        self._reset_state()
+        if self.log is not None:
+            total = sum(p.wire_size for p in packets)
+            self.record = self.log.open(
+                self.flow_id, packets[0].src, packets[0].dst, total, self.sim.now
+            )
+        self._pump()
+
+    @property
+    def done(self) -> bool:
+        """True once every packet has been acknowledged."""
+        return self._done
+
+    # -- subclass hooks ---------------------------------------------------------
+
+    def _reset_state(self) -> None:
+        raise NotImplementedError
+
+    def _pump(self) -> None:
+        raise NotImplementedError
+
+    def _handle_control(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def _on_timeout(self) -> None:
+        raise NotImplementedError
+
+    # -- shared machinery ---------------------------------------------------------
+
+    def _dispatch(self, packet: Packet) -> None:
+        if packet.is_ack and not self._done:
+            self._handle_control(packet)
+
+    def _emit(self, seq: int, retransmission: bool = False) -> None:
+        original = self._packets[seq]
+        packet = original.clone() if retransmission else original
+        if retransmission and self.record is not None:
+            self.record.retransmissions += 1
+        self._send_times[seq] = self.sim.now
+        if self.record is not None:
+            self.record.packets_sent += 1
+        self.host.send(packet)
+
+    def _sample_rtt(self, seq: int) -> None:
+        sent = self._send_times.pop(seq, None)
+        if sent is not None:
+            self.rtt.sample(self.sim.now - sent)
+
+    def _arm_timer(self) -> None:
+        self._cancel_timer()
+        self._timer = self.sim.schedule(self.rtt.rto, self._timer_fired)
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _timer_fired(self) -> None:
+        self._timer = None
+        if self._done:
+            return
+        self.rtt.backoff()
+        self.cc.on_loss()
+        self._on_timeout()
+
+    def _complete(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._cancel_timer()
+        if self.log is not None:
+            self.log.close(self.flow_id, self.sim.now)
+        if self._on_complete is not None:
+            self._on_complete()

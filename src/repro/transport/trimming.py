@@ -1,0 +1,172 @@
+"""Trimming-aware transport — the paper's data path.
+
+NDP-style selective transport that understands trimmable gradients:
+
+* A **trimmed gradient packet is a delivery**, not a loss.  The receiver
+  keeps the decodable head, ACKs it (with ``trimmed_echo`` so the sender
+  sees the congestion signal), and the message completes *without any
+  retransmission* — the paper's central claim of consistent flow
+  completion times with no stragglers.
+* A trimmed **non-gradient** packet (the transport also carries opaque
+  payloads) acts as an NDP NACK: the header's arrival proves the loss
+  and triggers an immediate retransmission, no timeout needed.
+* Fully dropped packets (rare: trimmed headers travel in the express
+  band) are recovered by the retransmission timer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..net.host import Host
+from ..packet.packet import Packet
+from .base import MessageSenderBase
+
+__all__ = ["TrimmingSender", "TrimmingReceiver"]
+
+
+class TrimmingSender(MessageSenderBase):
+    """Selective-repeat sender that treats trims as deliveries."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._acked: set[int] = set()
+        self._next = 0
+        self.trims_reported = 0
+
+    def _reset_state(self) -> None:
+        self._acked = set()
+        self._next = 0
+        self.trims_reported = 0
+        self._send_times.clear()
+
+    def _inflight(self) -> int:
+        return self._next - len([s for s in self._acked if s < self._next])
+
+    def _pump(self) -> None:
+        total = len(self._packets)
+        while self._next < total and self._inflight() < self.cc.window:
+            self._emit(self._next)
+            self._next += 1
+        if len(self._acked) < total and self._timer is None:
+            self._arm_timer()
+
+    def _handle_control(self, packet: Packet) -> None:
+        if packet.nack:
+            # NDP-style: trimmed header == instant loss signal for
+            # non-gradient payloads; retransmit right away.
+            self.cc.on_trim()
+            if packet.seq not in self._acked:
+                self._emit(packet.seq, retransmission=True)
+            return
+        seq = packet.seq
+        if seq in self._acked:
+            return
+        self._acked.add(seq)
+        self._sample_rtt(seq)
+        if packet.trimmed_echo:
+            self.trims_reported += 1
+            if self.record is not None:
+                self.record.packets_trimmed += 1
+            self.cc.on_trim()
+        else:
+            self.cc.on_ack(ecn=packet.ecn)
+        if len(self._acked) >= len(self._packets):
+            self._complete()
+            return
+        self._arm_timer()
+        self._pump()
+
+    def _on_timeout(self) -> None:
+        # Selective recovery: re-send only what is still unacknowledged.
+        for seq in range(min(self._next, len(self._packets))):
+            if seq not in self._acked:
+                self._emit(seq, retransmission=True)
+        self._arm_timer()
+        self._pump()
+
+
+class TrimmingReceiver:
+    """Receiver that accepts trimmed gradient packets as deliveries.
+
+    Args:
+        host: receiving endpoint.
+        flow_id: flow to listen on.
+        on_message: called with the (seq-ordered) packet list — trimmed
+            packets included as-is, ready for
+            :func:`repro.core.packetizer.decode_packets`.
+        accept_trimmed: when False this degenerates into a selective but
+            trim-oblivious transport (useful as an ablation).
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        flow_id: int,
+        on_message: Optional[Callable[[List[Packet]], None]] = None,
+        accept_trimmed: bool = True,
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.flow_id = flow_id
+        self.on_message = on_message
+        self.accept_trimmed = accept_trimmed
+        self._received: Dict[int, Packet] = {}
+        self._total: Optional[int] = None
+        self._peer: Optional[str] = None
+        self.trimmed_accepted = 0
+        self.nacks_sent = 0
+        host.register_flow(flow_id, self._on_packet)
+
+    @property
+    def complete(self) -> bool:
+        """All sequence numbers covered (full or trimmed)."""
+        return self._total is not None and len(self._received) >= self._total
+
+    def packets(self) -> List[Packet]:
+        """Received packets in sequence order."""
+        return [self._received[seq] for seq in sorted(self._received)]
+
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.is_ack:
+            return
+        self._peer = packet.src
+        self._total = packet.seq_total or self._total
+        if packet.is_trimmed:
+            usable = self.accept_trimmed and packet.is_gradient
+            if not usable:
+                self._send_control(packet.seq, nack=True)
+                self.nacks_sent += 1
+                return
+            if packet.seq not in self._received:
+                self.trimmed_accepted += 1
+                self._received[packet.seq] = packet
+            self._send_control(packet.seq, trimmed_echo=True, ecn=packet.ecn)
+        else:
+            # A full copy upgrades a previously trimmed one.
+            prior = self._received.get(packet.seq)
+            if prior is None or prior.is_trimmed:
+                self._received[packet.seq] = packet
+            self._send_control(packet.seq, ecn=packet.ecn)
+        if self.complete and self.on_message is not None:
+            callback, self.on_message = self.on_message, None
+            callback(self.packets())
+
+    def _send_control(
+        self, seq: int, nack: bool = False, trimmed_echo: bool = False, ecn: bool = False
+    ) -> None:
+        if self._peer is None:
+            return
+        self.host.send(
+            Packet(
+                src=self.host.name,
+                dst=self._peer,
+                is_ack=True,
+                nack=nack,
+                trimmed_echo=trimmed_echo,
+                seq=seq,
+                flow_id=self.flow_id,
+                priority=2,
+                ecn=ecn,
+            )
+        )

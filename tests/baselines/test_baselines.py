@@ -1,0 +1,169 @@
+"""Tests for the ahead-of-time compression baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    PowerSGDChannel,
+    PowerSGDCompressor,
+    SparsifiedTrimmableChannel,
+    TernGradChannel,
+    TernGradCompressor,
+    TopKChannel,
+    topk_sparsify,
+)
+
+
+def gradient(n=20_000, seed=0):
+    return np.random.default_rng(seed).standard_normal(n)
+
+
+class TestTernGrad:
+    def test_codes_are_ternary(self):
+        enc = TernGradCompressor(root_seed=1).encode(gradient())
+        assert set(np.unique(enc.codes)) <= {-1, 0, 1}
+
+    def test_unbiased_for_clipped_inputs(self):
+        rng = np.random.default_rng(2)
+        x = np.clip(rng.standard_normal(300_000), -2.4, 2.4)
+        compressor = TernGradCompressor(root_seed=3)
+        decoded = compressor.decode(compressor.encode(x))
+        assert abs(decoded.mean() - x.mean()) < 0.02
+
+    def test_zero_gradient(self):
+        compressor = TernGradCompressor()
+        decoded = compressor.decode(compressor.encode(np.zeros(100)))
+        assert np.allclose(decoded, 0.0)
+
+    def test_channel_counts_compressed_bytes(self):
+        channel = TernGradChannel(root_seed=0)
+        x = gradient()
+        channel.transfer(x)
+        # 2 bits/coordinate << 32 bits/coordinate.
+        assert channel.stats.bytes_sent < x.size
+
+    def test_sign_preserved(self):
+        compressor = TernGradCompressor(root_seed=1)
+        x = gradient()
+        decoded = compressor.decode(compressor.encode(x))
+        nonzero = decoded != 0
+        assert np.all(np.sign(decoded[nonzero]) == np.sign(np.clip(x, -1, 1)[nonzero]))
+
+
+class TestTopK:
+    def test_keeps_largest(self):
+        x = np.array([0.1, -5.0, 0.2, 3.0, -0.05])
+        indices, values = topk_sparsify(x, 0.4)
+        assert set(indices) == {1, 3}
+        assert np.allclose(np.sort(np.abs(values)), [3.0, 5.0])
+
+    def test_keep_all(self):
+        x = gradient(100)
+        indices, values = topk_sparsify(x, 1.0)
+        assert np.array_equal(values, x)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            topk_sparsify(gradient(10), 0.0)
+
+    def test_channel_delivers_sparse(self):
+        channel = TopKChannel(keep_fraction=0.2, error_feedback=False)
+        out = channel.transfer(gradient())
+        assert np.count_nonzero(out) == pytest.approx(0.2 * 20_000, rel=0.01)
+
+    def test_error_feedback_recovers_dropped_mass(self):
+        """With EF, repeated transfers of the same gradient eventually
+        deliver the full mass; without EF the small coords never ship."""
+        x = gradient(1000, seed=5)
+        with_ef = TopKChannel(keep_fraction=0.1, error_feedback=True)
+        total = np.zeros_like(x)
+        for _ in range(30):
+            total += with_ef.transfer(x, worker=0)
+        # Average delivered mass approaches the true gradient.
+        assert np.linalg.norm(total / 30 - x) / np.linalg.norm(x) < 0.5
+
+    def test_per_worker_residuals_independent(self):
+        channel = TopKChannel(keep_fraction=0.1)
+        a = channel.transfer(gradient(1000, seed=1), worker=0)
+        b = channel.transfer(gradient(1000, seed=2), worker=1)
+        assert not np.array_equal(a, b)
+
+
+class TestPowerSGD:
+    def test_rank_controls_error(self):
+        rng = np.random.default_rng(0)
+        # A matrix with decaying spectrum compresses well at low rank.
+        u = rng.standard_normal((64, 8))
+        v = rng.standard_normal((8, 64))
+        matrix = u @ np.diag([10, 5, 2, 1, 0.5, 0.2, 0.1, 0.05])[:8, :8] @ v
+        errors = []
+        for rank in [1, 4, 8]:
+            compressor = PowerSGDCompressor(rank=rank, seed=1, error_feedback=False)
+            decoded = compressor.decode(compressor.encode(matrix))
+            errors.append(np.linalg.norm(decoded - matrix) / np.linalg.norm(matrix))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_warm_start_improves_over_rounds(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.standard_normal((32, 4)) @ rng.standard_normal((4, 32))
+        compressor = PowerSGDCompressor(rank=4, seed=0, error_feedback=False)
+        first = compressor.decode(compressor.encode(matrix, key=("m",)))
+        for _ in range(5):
+            last = compressor.decode(compressor.encode(matrix, key=("m",)))
+        err_first = np.linalg.norm(first - matrix)
+        err_last = np.linalg.norm(last - matrix)
+        assert err_last <= err_first + 1e-9
+
+    def test_rank_ordered_payload_prefix_decode(self):
+        """Section 5.3: trimming the payload tail removes the weakest
+        ranks, so a prefix decode degrades gracefully."""
+        rng = np.random.default_rng(2)
+        matrix = rng.standard_normal((32, 6)) @ np.diag([8, 4, 2, 1, 0.5, 0.1]) @ \
+            rng.standard_normal((6, 32))
+        compressor = PowerSGDCompressor(rank=6, seed=0, error_feedback=False)
+        enc = compressor.encode(matrix)
+        payload = compressor.rank_ordered_payload(enc)
+        errors = []
+        for ranks in [1, 3, 6]:
+            approx = compressor.decode_prefix(payload, enc.shape, ranks)
+            errors.append(np.linalg.norm(approx - matrix))
+        assert errors[0] > errors[1] > errors[2]
+        full = compressor.decode(enc)
+        assert np.allclose(compressor.decode_prefix(payload, enc.shape, 6), full)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            PowerSGDCompressor(rank=2).encode(np.zeros(10))
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            PowerSGDCompressor(rank=0)
+
+    def test_channel_flat_round_trip_shape(self):
+        channel = PowerSGDChannel(rank=4, seed=0)
+        x = gradient(12345)
+        out = channel.transfer(x)
+        assert out.shape == x.shape
+        assert channel.stats.bytes_sent < x.size * 4  # compressed
+
+
+class TestSparsifiedTrimmable:
+    def test_combined_channel_delivers(self):
+        channel = SparsifiedTrimmableChannel(keep_fraction=0.3, trim_rate=0.3, seed=1)
+        x = gradient(30_000, seed=3)
+        out = channel.transfer(x, epoch=1, message_id=1)
+        assert out.shape == x.shape
+        # Survivors approximate their true values despite trimming.
+        mask = out != 0
+        assert mask.sum() > 0
+        err = np.linalg.norm(out[mask] - x[mask]) / np.linalg.norm(x[mask])
+        assert err < 1.0
+
+    def test_no_trim_equals_topk(self):
+        x = gradient(10_000, seed=4)
+        combined = SparsifiedTrimmableChannel(keep_fraction=0.2, trim_rate=0.0, seed=1)
+        plain = TopKChannel(keep_fraction=0.2)
+        out_c = combined.transfer(x)
+        out_p = plain.transfer(x)
+        assert np.allclose(np.flatnonzero(out_c), np.flatnonzero(out_p))
+        assert np.allclose(out_c, out_p, atol=1e-6)

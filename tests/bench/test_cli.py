@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro.bench`` experiment runner."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCLI:
+    def test_f2(self, capsys):
+        assert main(["f2"]) == 0
+        out = capsys.readouterr().out
+        assert "F2 packet layout" in out
+        assert "94.1%" in out or "94.2%" in out
+
+    def test_t2(self, capsys):
+        assert main(["t2"]) == 0
+        out = capsys.readouterr().out
+        assert "T2 codec NMSE" in out
+        assert "heavy-tail" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "F5 per-round time breakdown" in out
+        assert "baseline" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_scale_flag_sets_env(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert main(["f2", "--scale", "quick"]) == 0
+        import os
+
+        assert os.environ["REPRO_BENCH_SCALE"] == "quick"

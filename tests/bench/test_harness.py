@@ -1,0 +1,112 @@
+"""Tests for the benchmark harness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentResult, ascii_chart, bench_scale, format_table
+from repro.bench.experiments import f2_layout, t2_codec_nmse, trim_rates
+
+
+class TestBenchScale:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == "quick"
+
+    def test_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "FULL")
+        assert bench_scale() == "full"
+
+    def test_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "huge")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_trim_rates_widen_at_full_scale(self):
+        assert len(trim_rates("full")) > len(trim_rates("quick"))
+        assert 0.5 in trim_rates("quick")
+        assert 0.001 in trim_rates("full")
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [[1]], title="T")
+        assert text.startswith("T\n")
+
+    def test_ascii_chart_contains_all_series(self):
+        chart = ascii_chart(
+            {"one": [(0, 0), (1, 1)], "two": [(0, 1), (1, 0)]}
+        )
+        assert "o=one" in chart
+        assert "x=two" in chart
+
+    def test_ascii_chart_empty(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_ascii_chart_single_point(self):
+        chart = ascii_chart({"p": [(1.0, 2.0)]})
+        assert "o" in chart
+
+    def test_experiment_result_render(self):
+        result = ExperimentResult("X1", ["col"], [[1]], notes="hello")
+        text = result.render()
+        assert "[X1]" in text
+        assert "hello" in text
+
+
+class TestLightExperiments:
+    def test_f2_layout_reproduces_paper_numbers(self):
+        result = f2_layout()
+        paper = result.rows[0]
+        assert paper[2] in (364, 365)
+        assert abs(paper[3] - 87) <= 1
+
+    def test_t2_nmse_well_formed(self):
+        result = t2_codec_nmse(num_coords=2**13)
+        assert len(result.rows) == 8  # 2 inputs x 4 rates
+        for row in result.rows:
+            for value in row[2:]:
+                assert float(value) >= 0.0
+
+
+class TestJsonExport:
+    def test_to_json_round_trips(self):
+        import json
+
+        result = ExperimentResult(
+            "X2", ["name", "value"], [["a", 1.5], ["b", 2]], notes="n"
+        )
+        payload = json.loads(result.to_json())
+        assert payload["experiment_id"] == "X2"
+        assert payload["rows"] == [["a", 1.5], ["b", 2]]
+        assert payload["notes"] == "n"
+
+    def test_to_json_handles_numpy_scalars(self):
+        import json
+        import numpy as np
+
+        result = ExperimentResult("X3", ["v"], [[np.float64(0.25)], [np.int64(4)]])
+        payload = json.loads(result.to_json())
+        assert payload["rows"] == [[0.25], [4]]
+
+
+class TestTrainingSweepMachinery:
+    def test_run_training_returns_history_and_caches(self):
+        from repro.bench.experiments import run_training
+
+        first = run_training("sd", 0.1, 1)
+        second = run_training("sd", 0.1, 1)
+        assert first is second  # lru-cached: fig3 and fig4 share sweeps
+        assert len(first.records) == 1
+        assert 0.0 <= first.final_top1 <= 1.0
+
+    def test_baseline_run_has_no_trimming(self):
+        from repro.bench.experiments import run_training
+
+        history = run_training(None, 0.0, 1)
+        assert history.records[-1].trim_fraction == 0.0

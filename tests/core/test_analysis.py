@@ -1,0 +1,73 @@
+"""Tests for the gradient-statistics analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import codec_error_profile, heavy_tail_index, per_parameter_scales
+from repro.core.analysis import GAUSSIAN_TAIL_INDEX
+
+
+class TestHeavyTailIndex:
+    def test_gaussian_near_theory(self):
+        x = np.random.default_rng(0).standard_normal(200_000)
+        assert heavy_tail_index(x) == pytest.approx(GAUSSIAN_TAIL_INDEX, rel=0.02)
+
+    def test_heavy_tails_score_higher(self):
+        rng = np.random.default_rng(1)
+        gaussian = rng.standard_normal(100_000)
+        student = rng.standard_t(df=2, size=100_000)
+        assert heavy_tail_index(student) > heavy_tail_index(gaussian)
+
+    def test_constant_vector(self):
+        assert heavy_tail_index(np.ones(100)) == pytest.approx(0.0)
+
+    def test_zero_vector(self):
+        assert heavy_tail_index(np.zeros(100)) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            heavy_tail_index(np.zeros(0))
+
+
+class TestPerParameterScales:
+    def test_reports_every_parameter(self):
+        from repro.nn import MLP, Tensor, cross_entropy
+
+        model = MLP(10, [8], 3, seed=0)
+        model.zero_grad()
+        x = np.random.default_rng(0).standard_normal((4, 10))
+        cross_entropy(model(Tensor(x)), np.array([0, 1, 2, 0])).backward()
+        records = per_parameter_scales(model)
+        assert len(records) == len(model.parameters())
+        assert all(r["rms"] > 0 for r in records)
+        assert sum(r["size"] for r in records) == model.num_parameters()
+
+    def test_no_backward_gives_zero_rms(self):
+        from repro.nn import MLP
+
+        records = per_parameter_scales(MLP(4, [2], 2, seed=0))
+        assert all(r["rms"] == 0.0 for r in records)
+
+
+class TestCodecErrorProfile:
+    def test_profiles_all_registered_codecs_by_default(self):
+        from repro.core import available_codecs
+
+        x = np.random.default_rng(0).standard_normal(4096)
+        profile = codec_error_profile(x, trim_rates=(0.5,))
+        assert set(profile) == set(available_codecs())
+
+    def test_error_monotone_in_trim_rate(self):
+        x = np.random.default_rng(1).standard_normal(2**13)
+        profile = codec_error_profile(x, trim_rates=(0.1, 0.5, 1.0), codecs=["rht"])
+        errors = list(profile["rht"].values())
+        assert errors == sorted(errors)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            codec_error_profile(np.ones(16), trim_rates=(1.5,), codecs=["sign"])
+
+    def test_matches_t2_story_on_heavy_tails(self):
+        x = np.random.default_rng(2).standard_t(df=2, size=2**14)
+        profile = codec_error_profile(x, trim_rates=(1.0,), codecs=["sign", "rht"])
+        assert profile["rht"][1.0] < profile["sign"][1.0]

@@ -1,0 +1,69 @@
+"""Tests for the reliable metadata side-channel serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import GradientMetadata
+
+
+def make_metadata(**overrides):
+    fields = dict(
+        message_id=77,
+        epoch=3,
+        original_length=100000,
+        row_size=32768,
+        seed=123456789,
+        sigma=0.0123,
+        scale=0.030751,
+        row_scales=np.array([1.2, 1.3, 1.25]),
+        aux_scales=np.array([4.0, 4.1, 3.9]),
+    )
+    fields.update(overrides)
+    return GradientMetadata(**fields)
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self):
+        meta = make_metadata()
+        parsed = GradientMetadata.from_bytes(meta.to_bytes())
+        assert parsed.message_id == meta.message_id
+        assert parsed.epoch == meta.epoch
+        assert parsed.original_length == meta.original_length
+        assert parsed.row_size == meta.row_size
+        assert parsed.seed == meta.seed
+        assert parsed.sigma == pytest.approx(meta.sigma)
+        assert parsed.scale == pytest.approx(meta.scale)
+        assert np.allclose(parsed.row_scales, meta.row_scales)
+        assert np.allclose(parsed.aux_scales, meta.aux_scales)
+
+    def test_empty_scales(self):
+        meta = make_metadata(row_scales=np.zeros(0), aux_scales=np.zeros(0))
+        parsed = GradientMetadata.from_bytes(meta.to_bytes())
+        assert parsed.row_scales.size == 0
+        assert parsed.aux_scales.size == 0
+
+    def test_wire_bytes_matches_serialization(self):
+        meta = make_metadata()
+        assert meta.wire_bytes == len(meta.to_bytes())
+
+    def test_metadata_packet_is_small(self):
+        """The paper sends scales 'in a small packet': a 25 MB blob at
+        row size 2^15 has 200 rows -> well under one MTU."""
+        meta = make_metadata(row_scales=np.ones(200), aux_scales=np.zeros(0))
+        assert meta.wire_bytes < 1458
+
+    def test_trailing_bytes_ignored(self):
+        meta = make_metadata()
+        parsed = GradientMetadata.from_bytes(meta.to_bytes() + b"\x00" * 7)
+        assert np.allclose(parsed.row_scales, meta.row_scales)
+
+
+class TestValidation:
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            GradientMetadata.from_bytes(b"\x01\x02")
+
+    def test_truncated_scales_rejected(self):
+        data = make_metadata().to_bytes()
+        with pytest.raises(ValueError, match="truncated"):
+            GradientMetadata.from_bytes(data[:-4])

@@ -1,0 +1,225 @@
+"""Tests for the scalar 1-bit codecs (sign, SQ, SD)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SignMagnitudeCodec,
+    StochasticQuantizationCodec,
+    SubtractiveDitheringCodec,
+    available_codecs,
+    codec_by_id,
+    codec_by_name,
+    nmse,
+)
+
+
+def gradient(n=2000, seed=0):
+    return np.random.default_rng(seed).standard_normal(n).astype(np.float32).astype(np.float64)
+
+
+ALL_SCALAR = [SignMagnitudeCodec, StochasticQuantizationCodec, SubtractiveDitheringCodec]
+
+
+class TestRegistry:
+    def test_names_registered(self):
+        for name in ["sign", "sq", "sd", "rht"]:
+            assert name in available_codecs()
+
+    def test_by_name_and_by_id_agree(self):
+        for name in ["sign", "sq", "sd"]:
+            codec = codec_by_name(name)
+            assert type(codec_by_id(codec.codec_id)) is type(codec)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown codec"):
+            codec_by_name("huffman")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            codec_by_id(250)
+
+
+@pytest.mark.parametrize("codec_cls", ALL_SCALAR)
+class TestCommonScalarBehaviour:
+    def test_untrimmed_decode_near_exact(self, codec_cls):
+        x = gradient()
+        codec = codec_cls(root_seed=3)
+        decoded = codec.decode(codec.encode(x))
+        # sign is exactly lossless; SQ/SD lose at most one mantissa ULP.
+        assert nmse(x, decoded) < 1e-13
+
+    def test_geometry(self, codec_cls):
+        enc = codec_cls().encode(gradient(100))
+        assert enc.head_bits == 1
+        assert enc.tail_bits == 31
+        assert enc.length == 100
+        assert enc.heads.max() <= 1
+        assert enc.tails.max() < 2**31
+
+    def test_metadata_has_sigma(self, codec_cls):
+        x = gradient()
+        enc = codec_cls().encode(x)
+        assert np.isclose(enc.metadata.sigma, np.std(x))
+
+    def test_all_trimmed_is_finite_and_bounded(self, codec_cls):
+        x = gradient(500)
+        codec = codec_cls(root_seed=1)
+        enc = codec.encode(x)
+        decoded = codec.decode(enc, trimmed=np.ones(500, dtype=bool))
+        assert np.all(np.isfinite(decoded))
+        assert np.abs(decoded).max() < 10 * np.std(x)
+
+    def test_missing_decodes_to_zero(self, codec_cls):
+        x = gradient(100)
+        codec = codec_cls()
+        enc = codec.encode(x)
+        missing = np.zeros(100, dtype=bool)
+        missing[:10] = True
+        decoded = codec.decode(enc, missing=missing)
+        assert np.all(decoded[:10] == 0.0)
+        assert nmse(x[10:], decoded[10:]) < 1e-13
+
+    def test_zero_gradient_handled(self, codec_cls):
+        codec = codec_cls()
+        x = np.zeros(64)
+        enc = codec.encode(x)
+        decoded = codec.decode(enc, trimmed=np.ones(64, dtype=bool))
+        assert np.all(np.isfinite(decoded))
+        assert np.allclose(decoded, 0.0)
+
+    def test_wrong_codec_id_rejected(self, codec_cls):
+        enc = codec_cls().encode(gradient(10))
+        others = [c for c in ALL_SCALAR if c is not codec_cls]
+        with pytest.raises(ValueError, match="cannot decode"):
+            others[0]().decode(enc)
+
+    def test_bad_mask_shape_rejected(self, codec_cls):
+        codec = codec_cls()
+        enc = codec.encode(gradient(10))
+        with pytest.raises(ValueError, match="mask shape"):
+            codec.decode(enc, trimmed=np.zeros(5, dtype=bool))
+
+
+class TestSignMagnitude:
+    def test_trimmed_decodes_to_pm_sigma(self):
+        x = gradient()
+        codec = SignMagnitudeCodec()
+        enc = codec.encode(x)
+        decoded = codec.decode(enc, trimmed=np.ones(x.size, dtype=bool))
+        sigma = np.std(x)
+        assert np.allclose(np.abs(decoded), sigma)
+        assert np.array_equal(np.sign(decoded), np.where(x >= 0, 1.0, -1.0))
+
+    def test_untrimmed_is_bit_exact(self):
+        x = gradient()
+        codec = SignMagnitudeCodec()
+        decoded = codec.decode(codec.encode(x))
+        assert np.array_equal(decoded.astype(np.float32), x.astype(np.float32))
+
+    def test_negative_zero_round_trips(self):
+        x = np.array([-0.0, 0.0, 1.5, -2.5])
+        decoded = SignMagnitudeCodec().decode(SignMagnitudeCodec().encode(x))
+        assert np.array_equal(
+            np.signbit(decoded.astype(np.float32)), np.signbit(x.astype(np.float32))
+        )
+
+    def test_trimmed_error_is_biased_on_heavy_tails(self):
+        """The sign decode inflates small coordinates to ±σ — with
+        heavy-tailed gradients (σ dominated by outliers) this is the bias
+        that makes training diverge at >= 2% trim in the paper."""
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(50000) * 0.01
+        x[:50] = rng.standard_normal(50) * 10.0  # outliers dominate sigma
+        codec = SignMagnitudeCodec()
+        enc = codec.encode(x)
+        decoded = codec.decode(enc, trimmed=np.ones(x.size, dtype=bool))
+        small = np.abs(decoded[50:])
+        assert small.mean() > np.abs(x[50:]).mean() * 10
+
+
+class TestStochasticQuantization:
+    def test_trimmed_decode_is_unbiased(self):
+        rng = np.random.default_rng(7)
+        x = np.clip(rng.standard_normal(200000), -2.4, 2.4)
+        codec = StochasticQuantizationCodec(root_seed=5)
+        enc = codec.encode(x)
+        decoded = codec.decode(enc, trimmed=np.ones(x.size, dtype=bool))
+        # Mean decoded value tracks the mean input (unbiasedness).
+        assert abs(decoded.mean() - x.mean()) < 0.02
+
+    def test_trimmed_values_are_pm_L(self):
+        x = gradient(1000)
+        codec = StochasticQuantizationCodec()
+        enc = codec.encode(x)
+        decoded = codec.decode(enc, trimmed=np.ones(1000, dtype=bool))
+        L = enc.metadata.scale
+        assert np.isclose(L, 2.5 * np.std(x))
+        assert set(np.round(np.unique(np.abs(decoded)), 10)) == {np.round(L, 10)}
+
+    def test_encode_probability_tracks_value(self):
+        """Coordinates near +L encode to +1 almost surely."""
+        codec = StochasticQuantizationCodec(root_seed=0)
+        x = np.full(5000, 1.0)
+        x[::2] = -1.0  # sigma = 1, L = 2.5
+        enc = codec.encode(x)
+        plus_rate_pos = enc.heads[1::2].mean()  # x = +1 -> p+ = 3.5/5 = .7
+        plus_rate_neg = enc.heads[::2].mean()  # x = -1 -> p+ = 1.5/5 = .3
+        assert 0.65 < plus_rate_pos < 0.75
+        assert 0.25 < plus_rate_neg < 0.35
+
+    def test_epoch_changes_randomness(self):
+        codec = StochasticQuantizationCodec(root_seed=1)
+        x = gradient(500)
+        h1 = codec.encode(x, epoch=1).heads
+        h2 = codec.encode(x, epoch=2).heads
+        assert not np.array_equal(h1, h2)
+
+
+class TestSubtractiveDithering:
+    def test_decode_regenerates_same_dither(self):
+        x = gradient(3000)
+        sender = SubtractiveDitheringCodec(root_seed=9)
+        receiver = SubtractiveDitheringCodec(root_seed=9)
+        enc = sender.encode(x, epoch=4, message_id=2)
+        decoded = receiver.decode(enc, trimmed=np.ones(x.size, dtype=bool))
+        # SD's worst-case error per coordinate is bounded by 1.5L.
+        L = enc.metadata.scale
+        assert np.abs(decoded - np.clip(x, -L, L)).max() <= 1.5 * L + 1e-9
+
+    def test_sd_beats_sq_variance(self):
+        """SD has lower trimmed-decode error than SQ on the same input."""
+        x = gradient(100000, seed=11)
+        sq = StochasticQuantizationCodec(root_seed=1)
+        sd = SubtractiveDitheringCodec(root_seed=1)
+        mask = np.ones(x.size, dtype=bool)
+        err_sq = nmse(x, sq.decode(sq.encode(x), trimmed=mask))
+        err_sd = nmse(x, sd.decode(sd.encode(x), trimmed=mask))
+        assert err_sd < err_sq
+
+    def test_different_root_seed_breaks_decode(self):
+        """A receiver with the wrong shared seed decodes garbage dither."""
+        x = gradient(1000)
+        enc = SubtractiveDitheringCodec(root_seed=1).encode(x)
+        good = SubtractiveDitheringCodec(root_seed=1)
+        mask = np.ones(x.size, dtype=bool)
+        ok = good.decode(enc, trimmed=mask)
+        # Same encoded object decoded twice is deterministic.
+        assert np.array_equal(ok, good.decode(enc, trimmed=mask))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=1, max_value=500),
+    scale=st.floats(min_value=1e-6, max_value=1e6),
+)
+@pytest.mark.parametrize("codec_cls", ALL_SCALAR)
+def test_untrimmed_round_trip_property(codec_cls, seed, n, scale):
+    """No-trim decode is (near-)lossless for any input scale and length."""
+    x = (np.random.default_rng(seed).standard_normal(n) * scale).astype(np.float32)
+    codec = codec_cls(root_seed=seed)
+    decoded = codec.decode(codec.encode(x.astype(np.float64)))
+    assert nmse(x, decoded) < 1e-12

@@ -1,0 +1,127 @@
+"""Tests for ECMP routing and the queue telemetry monitor."""
+
+import numpy as np
+import pytest
+
+from repro.net import QueueMonitor, Simulator, dumbbell, leaf_spine
+from repro.packet import Packet
+
+
+class TestECMP:
+    def test_multi_hop_routes_installed(self):
+        net = leaf_spine(leaves=2, spines=4, hosts_per_leaf=2)
+        net.build_routes(ecmp=True)
+        leaf0 = net.switches["leaf0"]
+        # Toward a host on the other leaf there are 4 equal spine paths.
+        assert len(leaf0.routes["h1_0"]) == 4
+        # Toward a local host there is exactly one hop: the host itself.
+        assert leaf0.routes["h0_0"] == ["h0_0"]
+
+    def test_flows_spread_across_spines(self):
+        net = leaf_spine(leaves=2, spines=4, hosts_per_leaf=2)
+        net.build_routes(ecmp=True)
+        got = []
+        net.hosts["h1_0"].set_default_handler(got.append)
+        for flow in range(40):
+            net.hosts["h0_0"].send(
+                Packet(src="h0_0", dst="h1_0", payload=b"x", flow_id=flow)
+            )
+        net.sim.run()
+        assert len(got) == 40
+        used = [
+            s for s in ("spine0", "spine1", "spine2", "spine3")
+            if net.switches[s].stats.forwarded > 0
+        ]
+        assert len(used) >= 3  # 40 flows hash across nearly all spines
+
+    def test_same_flow_same_path(self):
+        """Per-flow hashing keeps one flow on one spine (in-order)."""
+        net = leaf_spine(leaves=2, spines=4, hosts_per_leaf=2)
+        net.build_routes(ecmp=True)
+        got = []
+        net.hosts["h1_1"].set_default_handler(got.append)
+        for _ in range(20):
+            net.hosts["h0_1"].send(
+                Packet(src="h0_1", dst="h1_1", payload=b"x", flow_id=7)
+            )
+        net.sim.run()
+        used = [
+            s for s in ("spine0", "spine1", "spine2", "spine3")
+            if net.switches[s].stats.forwarded > 0
+        ]
+        assert len(used) == 1
+
+    def test_set_route_validation(self):
+        net = dumbbell(pairs=1)
+        switch = net.switches["s0"]
+        with pytest.raises(ValueError, match="no port"):
+            switch.set_route("rx0", ["nonexistent"])
+        with pytest.raises(ValueError, match="empty"):
+            switch.set_route("rx0", [])
+
+    def test_deterministic_across_runs(self):
+        counts = []
+        for _ in range(2):
+            net = leaf_spine(leaves=2, spines=2, hosts_per_leaf=2)
+            net.build_routes(ecmp=True)
+            for flow in range(16):
+                net.hosts["h0_0"].send(
+                    Packet(src="h0_0", dst="h1_0", flow_id=flow)
+                )
+            net.sim.run()
+            counts.append(net.switches["spine0"].stats.forwarded)
+        assert counts[0] == counts[1]
+
+
+class TestQueueMonitor:
+    def test_samples_queue_buildup(self):
+        net = dumbbell(pairs=1, edge_rate_bps=10e9, bottleneck_rate_bps=1e9)
+        monitor = QueueMonitor(net.sim, period_s=1e-6)
+        monitor.watch("bottleneck", net.link_between("s0", "s1"))
+        for _ in range(30):
+            net.hosts["tx0"].send(
+                Packet(src="tx0", dst="rx0", payload=b"\x00" * 1458)
+            )
+        net.sim.run()
+        assert monitor.peak_bytes("bottleneck") > 10_000
+        assert monitor.mean_bytes("bottleneck") > 0
+        times = [s.time for s in monitor.samples["bottleneck"]]
+        assert times == sorted(times)
+
+    def test_monitor_does_not_prolong_simulation(self):
+        net = dumbbell(pairs=1)
+        monitor = QueueMonitor(net.sim, period_s=1e-6)
+        monitor.watch("bottleneck", net.link_between("s0", "s1"))
+        net.hosts["tx0"].send(Packet(src="tx0", dst="rx0"))
+        end = net.sim.run()
+        assert end < 1e-3  # stops when real traffic stops
+
+    def test_time_above_threshold(self):
+        net = dumbbell(pairs=1, edge_rate_bps=10e9, bottleneck_rate_bps=1e9)
+        monitor = QueueMonitor(net.sim, period_s=1e-6)
+        monitor.watch("b", net.link_between("s0", "s1"))
+        for _ in range(30):
+            net.hosts["tx0"].send(Packet(src="tx0", dst="rx0", payload=b"\x00" * 1458))
+        net.sim.run()
+        assert 0.0 < monitor.time_above("b", 5_000) <= 1.0
+        assert monitor.time_above("b", 10**9) == 0.0
+
+    def test_series_output(self):
+        net = dumbbell(pairs=1)
+        monitor = QueueMonitor(net.sim, period_s=1e-6)
+        monitor.watch("b", net.link_between("s0", "s1"))
+        net.hosts["tx0"].send(Packet(src="tx0", dst="rx0"))
+        net.sim.run()
+        series = monitor.series("b")
+        assert all(len(point) == 2 for point in series)
+
+    def test_duplicate_watch_rejected(self):
+        net = dumbbell(pairs=1)
+        monitor = QueueMonitor(net.sim)
+        monitor.watch("b", net.link_between("s0", "s1"))
+        with pytest.raises(ValueError, match="already watching"):
+            monitor.watch("b", net.link_between("s1", "s0"))
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            QueueMonitor(Simulator(), period_s=0)

@@ -1,0 +1,115 @@
+"""Tests for byte-bounded and strict-priority queues."""
+
+import pytest
+
+from repro.net import ByteQueue, PriorityQueue
+from repro.packet import Packet
+
+
+def pkt(size_payload=1458, priority=0):
+    return Packet(src="a", dst="b", payload=b"\x00" * size_payload, priority=priority)
+
+
+class TestByteQueue:
+    def test_fifo_order(self):
+        q = ByteQueue(capacity_bytes=10_000)
+        first, second = pkt(), pkt()
+        q.push(first)
+        q.push(second)
+        assert q.pop() is first
+        assert q.pop() is second
+        assert q.pop() is None
+
+    def test_capacity_enforced_in_bytes(self):
+        q = ByteQueue(capacity_bytes=3100)  # fits two 1500 B packets
+        assert q.push(pkt())
+        assert q.push(pkt())
+        assert not q.push(pkt())
+        assert q.rejected == 1
+
+    def test_bytes_queued_tracks_wire_size(self):
+        q = ByteQueue(capacity_bytes=10_000)
+        p = pkt(100)
+        q.push(p)
+        assert q.bytes_queued == p.wire_size
+        q.pop()
+        assert q.bytes_queued == 0
+
+    def test_fill_fraction(self):
+        q = ByteQueue(capacity_bytes=3000)
+        q.push(pkt(1458))
+        assert q.fill == pytest.approx(1500 / 3000)
+
+    def test_peak_tracking(self):
+        q = ByteQueue(capacity_bytes=10_000)
+        q.push(pkt())
+        q.push(pkt())
+        q.pop()
+        assert q.peak_bytes == 3000
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ByteQueue(0)
+
+    def test_ecn_marks_above_threshold(self):
+        q = ByteQueue(capacity_bytes=10_000, ecn_threshold_bytes=2000)
+        a, b = pkt(), pkt()
+        q.push(a)  # 1500 <= 2000: unmarked
+        q.push(b)  # 3000 > 2000: marked
+        assert not a.ecn
+        assert b.ecn
+        assert q.ecn_marked == 1
+
+    def test_no_ecn_when_disabled(self):
+        q = ByteQueue(capacity_bytes=10_000)
+        p = pkt()
+        q.push(p)
+        assert not p.ecn
+
+
+class TestPriorityQueue:
+    def test_high_priority_served_first(self):
+        q = PriorityQueue(band_capacities=[10_000, 10_000])
+        normal = pkt(priority=0)
+        urgent = pkt(priority=1)
+        q.push(normal)
+        q.push(urgent)
+        assert q.pop() is urgent
+        assert q.pop() is normal
+
+    def test_band_mapping(self):
+        q = PriorityQueue(band_capacities=[1000, 1000, 1000])
+        assert q.band_for(pkt(priority=0)) == 2
+        assert q.band_for(pkt(priority=1)) == 1
+        assert q.band_for(pkt(priority=2)) == 0
+        assert q.band_for(pkt(priority=99)) == 0  # clamped
+
+    def test_band_overflow_is_per_band(self):
+        q = PriorityQueue(band_capacities=[1600, 1600])
+        assert q.push(pkt(priority=1))
+        assert not q.push(pkt(priority=1))  # express band full
+        assert q.push(pkt(priority=0))  # data band still has room
+
+    def test_total_accounting(self):
+        q = PriorityQueue(band_capacities=[10_000, 10_000])
+        q.push(pkt(priority=1))
+        q.push(pkt(priority=0))
+        assert len(q) == 2
+        assert q.bytes_queued == 3000
+
+    def test_data_band_is_lowest(self):
+        q = PriorityQueue(band_capacities=[1000, 5000])
+        assert q.data_band().capacity_bytes == 5000
+
+    def test_ecn_only_on_data_band(self):
+        q = PriorityQueue(band_capacities=[5000, 5000], ecn_threshold_bytes=100)
+        urgent = pkt(priority=1)
+        normal = pkt(priority=0)
+        q.push(urgent)
+        q.push(normal)
+        assert not urgent.ecn
+        assert normal.ecn
+
+    def test_empty_bands_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityQueue(band_capacities=[])

@@ -1,0 +1,127 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.net import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        hits = []
+
+        def outer():
+            hits.append(sim.now)
+            if len(hits) < 4:
+                sim.schedule(1.0, outer)
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert hits == [1.0, 2.0, 3.0, 4.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="in the past"):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        witness = []
+        sim.schedule_at(2.5, lambda: witness.append(sim.now))
+        sim.run()
+        assert witness == [2.5]
+
+
+class TestRunControls:
+    def test_until_stops_without_dropping_events(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(3.0, lambda: hits.append(3))
+        sim.run(until=2.0)
+        assert hits == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert hits == [1, 3]
+
+    def test_event_exactly_at_until_runs(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(2.0, lambda: hits.append(2))
+        sim.run(until=2.0)
+        assert hits == [2]
+
+    def test_max_events_safety_valve(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1e-9, forever)
+
+        sim.schedule(0.0, forever)
+        sim.run(max_events=100)
+        assert sim.events_processed == 100
+
+    def test_run_on_empty_heap_returns_now(self):
+        sim = Simulator()
+        assert sim.run() == 0.0
+
+    def test_run_until_with_no_events_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        hits = []
+        event = sim.schedule(1.0, lambda: hits.append("x"))
+        event.cancel()
+        sim.run()
+        assert hits == []
+
+    def test_pending_ignores_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        kill = sim.schedule(2.0, lambda: None)
+        kill.cancel()
+        assert sim.pending() == 1
+        keep.cancel()
+        assert sim.pending() == 0
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert Simulator().peek_time() is None

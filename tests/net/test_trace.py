@@ -1,0 +1,98 @@
+"""Tests for the per-packet event tracer."""
+
+import numpy as np
+import pytest
+
+from repro.core import SignMagnitudeCodec, packetize
+from repro.net import PacketTracer, dumbbell
+from repro.packet import Packet, SingleLevelTrim
+
+
+def traced_network(trim=False, buffer_bytes=60_000):
+    net = dumbbell(
+        pairs=1,
+        edge_rate_bps=100e9,
+        bottleneck_rate_bps=1e9,
+        trim_policy=SingleLevelTrim() if trim else None,
+        buffer_bytes=buffer_bytes,
+    )
+    tracer = PacketTracer(net.sim)
+    tracer.attach_host(net.hosts["tx0"])
+    tracer.attach_host(net.hosts["rx0"])
+    tracer.attach_switch(net.switches["s0"])
+    tracer.attach_switch(net.switches["s1"])
+    return net, tracer
+
+
+class TestTracer:
+    def test_send_and_deliver_recorded(self):
+        net, tracer = traced_network()
+        net.hosts["tx0"].send(Packet(src="tx0", dst="rx0", payload=b"hi", flow_id=9))
+        net.sim.run()
+        kinds = [e.kind for e in tracer.of_flow(9)]
+        assert kinds[0] == "send"
+        assert kinds[-1] == "deliver"
+        assert kinds.count("forward") == 2  # s0 and s1
+
+    def test_events_time_ordered(self):
+        net, tracer = traced_network()
+        for i in range(5):
+            net.hosts["tx0"].send(Packet(src="tx0", dst="rx0", seq=i))
+        net.sim.run()
+        times = [e.time for e in tracer.events]
+        assert times == sorted(times)
+
+    def test_trim_events_recorded(self):
+        net, tracer = traced_network(trim=True, buffer_bytes=5_000)
+        enc = SignMagnitudeCodec().encode(
+            np.random.default_rng(0).standard_normal(3000)
+        )
+        for pkt in packetize(enc, "tx0", "rx0", flow_id=2):
+            net.hosts["tx0"].send(pkt)
+        net.sim.run()
+        trims = tracer.of_kind("trim")
+        assert len(trims) > 0
+        # A trimmed packet's history: send, maybe forward, then trim.
+        history = tracer.packet_history(trims[0].packet_id)
+        assert history[0].kind == "send"
+
+    def test_drop_events_recorded(self):
+        net, tracer = traced_network(trim=False, buffer_bytes=4_000)
+        for _ in range(10):
+            net.hosts["tx0"].send(
+                Packet(src="tx0", dst="rx0", payload=b"\x00" * 1458)
+            )
+        net.sim.run()
+        assert len(tracer.of_kind("drop")) > 0
+
+    def test_render_is_readable(self):
+        net, tracer = traced_network()
+        net.hosts["tx0"].send(Packet(src="tx0", dst="rx0", flow_id=1))
+        net.sim.run()
+        text = tracer.render(limit=2)
+        assert "send" in text
+        assert "@tx0" in text
+
+    def test_render_limit_note(self):
+        net, tracer = traced_network()
+        for i in range(8):
+            net.hosts["tx0"].send(Packet(src="tx0", dst="rx0", seq=i))
+        net.sim.run()
+        text = tracer.render(limit=3)
+        assert "more events" in text
+
+    def test_attach_idempotent(self):
+        net, tracer = traced_network()
+        tracer.attach_host(net.hosts["tx0"])  # second attach is a no-op
+        net.hosts["tx0"].send(Packet(src="tx0", dst="rx0"))
+        net.sim.run()
+        sends = tracer.of_kind("send")
+        assert len(sends) == 1
+
+    def test_max_events_cap(self):
+        net, tracer = traced_network()
+        tracer.max_events = 3
+        for i in range(10):
+            net.hosts["tx0"].send(Packet(src="tx0", dst="rx0", seq=i))
+        net.sim.run()
+        assert len(tracer.events) == 3

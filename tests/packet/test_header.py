@@ -1,0 +1,87 @@
+"""Tests for the self-describing gradient header."""
+
+import pytest
+
+from repro.packet import (
+    FLAG_METADATA,
+    FLAG_TRIMMED,
+    GRADIENT_HEADER_BYTES,
+    WIRE_HEADER_BYTES,
+    GradientHeader,
+)
+
+
+def make_header(**overrides):
+    fields = dict(
+        codec_id=4,
+        head_bits=1,
+        tail_bits=31,
+        message_id=1234,
+        epoch=7,
+        chunk_index=3,
+        coord_offset=1095,
+        coord_count=365,
+        seed=0xDEADBEEFCAFE,
+    )
+    fields.update(overrides)
+    return GradientHeader(**fields)
+
+
+class TestWireConstants:
+    def test_standard_header_is_42_bytes(self):
+        """The paper's Section 2 arithmetic: Ethernet + IP + UDP = 42 B."""
+        assert WIRE_HEADER_BYTES == 42
+
+    def test_gradient_header_is_32_bytes(self):
+        assert GRADIENT_HEADER_BYTES == 32
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        header = make_header()
+        assert GradientHeader.from_bytes(header.to_bytes()) == header
+
+    def test_round_trip_with_flags(self):
+        header = make_header(flags=FLAG_TRIMMED | FLAG_METADATA)
+        parsed = GradientHeader.from_bytes(header.to_bytes())
+        assert parsed.trimmed
+        assert parsed.is_metadata
+
+    def test_serialized_length(self):
+        assert len(make_header().to_bytes()) == GRADIENT_HEADER_BYTES
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(make_header().to_bytes())
+        data[0] ^= 0xFF
+        with pytest.raises(ValueError, match="bad magic"):
+            GradientHeader.from_bytes(bytes(data))
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError, match="needs"):
+            GradientHeader.from_bytes(b"\x00" * 10)
+
+    def test_extra_bytes_ignored(self):
+        header = make_header()
+        assert GradientHeader.from_bytes(header.to_bytes() + b"payload") == header
+
+    def test_large_seed_round_trips(self):
+        header = make_header(seed=2**63 - 1)
+        assert GradientHeader.from_bytes(header.to_bytes()).seed == 2**63 - 1
+
+
+class TestFlags:
+    def test_defaults(self):
+        header = make_header()
+        assert not header.trimmed
+        assert not header.is_metadata
+
+    def test_with_flags_is_additive(self):
+        header = make_header(flags=FLAG_METADATA).with_flags(FLAG_TRIMMED)
+        assert header.trimmed
+        assert header.is_metadata
+
+    def test_with_flags_returns_new_object(self):
+        header = make_header()
+        trimmed = header.with_flags(FLAG_TRIMMED)
+        assert not header.trimmed
+        assert trimmed.trimmed

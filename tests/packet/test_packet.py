@@ -1,0 +1,114 @@
+"""Tests for the Packet object and the trim operation."""
+
+import numpy as np
+import pytest
+
+from repro.packet import (
+    FLAG_METADATA,
+    GRADIENT_HEADER_BYTES,
+    WIRE_HEADER_BYTES,
+    GradientHeader,
+    Packet,
+    pack_bits,
+)
+
+
+def gradient_packet(coord_count=365, head_bits=1, tail_bits=31, flags=0):
+    header = GradientHeader(
+        codec_id=1,
+        head_bits=head_bits,
+        tail_bits=tail_bits,
+        message_id=1,
+        epoch=0,
+        chunk_index=1,
+        coord_offset=0,
+        coord_count=coord_count,
+        seed=0,
+        flags=flags,
+    )
+    rng = np.random.default_rng(0)
+    heads = rng.integers(0, 2, coord_count).astype(np.uint32)
+    tails = rng.integers(0, 2**31, coord_count).astype(np.uint32)
+    payload = header.to_bytes() + pack_bits(heads, head_bits) + pack_bits(tails, tail_bits)
+    return Packet(src="h0", dst="h1", payload=payload, grad_header=header)
+
+
+class TestWireSize:
+    def test_includes_42_byte_header(self):
+        pkt = Packet(src="a", dst="b", payload=b"x" * 100)
+        assert pkt.wire_size == WIRE_HEADER_BYTES + 100
+
+    def test_empty_payload(self):
+        assert Packet(src="a", dst="b").wire_size == WIRE_HEADER_BYTES
+
+
+class TestTrim:
+    def test_trim_keeps_header_plus_heads(self):
+        pkt = gradient_packet(coord_count=365)
+        trimmed = pkt.trim()
+        # 365 one-bit heads pack into 46 bytes.
+        assert len(trimmed.payload) == GRADIENT_HEADER_BYTES + 46
+        assert trimmed.is_trimmed
+        assert trimmed.grad_header.trimmed
+        assert trimmed.trimmed_from == pkt.wire_size
+
+    def test_trim_raises_priority(self):
+        trimmed = gradient_packet().trim()
+        assert trimmed.priority >= 1
+
+    def test_original_untouched(self):
+        pkt = gradient_packet()
+        size_before = pkt.wire_size
+        pkt.trim()
+        assert pkt.wire_size == size_before
+        assert not pkt.is_trimmed
+
+    def test_non_gradient_packet_not_trimmable(self):
+        pkt = Packet(src="a", dst="b", payload=b"x" * 1000)
+        assert pkt.trimmable_bytes() is None
+        with pytest.raises(ValueError, match="not trimmable"):
+            pkt.trim()
+
+    def test_metadata_packet_not_trimmable(self):
+        pkt = gradient_packet(flags=FLAG_METADATA)
+        assert pkt.trimmable_bytes() is None
+
+    def test_ack_not_trimmable(self):
+        pkt = gradient_packet()
+        pkt.is_ack = True
+        assert pkt.trimmable_bytes() is None
+
+    def test_already_short_packet_not_trimmable(self):
+        # A packet whose payload is already at (or below) the keep
+        # threshold cannot shrink further.
+        pkt = gradient_packet(coord_count=365)
+        pkt.payload = pkt.payload[: GRADIENT_HEADER_BYTES + 10]
+        assert pkt.trimmable_bytes() is None
+
+    def test_trimmed_payload_is_prefix(self):
+        pkt = gradient_packet(coord_count=100)
+        trimmed = pkt.trim()
+        body = trimmed.payload[GRADIENT_HEADER_BYTES:]
+        assert pkt.payload[GRADIENT_HEADER_BYTES : GRADIENT_HEADER_BYTES + len(body)] == body
+
+    def test_trim_shrinks_wire_size_drastically(self):
+        pkt = gradient_packet(coord_count=356)
+        trimmed = pkt.trim()
+        assert trimmed.wire_size < pkt.wire_size * 0.1
+
+
+class TestIdentity:
+    def test_packet_ids_unique(self):
+        a = Packet(src="a", dst="b")
+        b = Packet(src="a", dst="b")
+        assert a.packet_id != b.packet_id
+
+    def test_clone_gets_fresh_id(self):
+        pkt = gradient_packet()
+        clone = pkt.clone()
+        assert clone.packet_id != pkt.packet_id
+        assert clone.payload == pkt.payload
+
+    def test_is_gradient(self):
+        assert gradient_packet().is_gradient
+        assert not Packet(src="a", dst="b").is_gradient

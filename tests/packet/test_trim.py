@@ -1,0 +1,124 @@
+"""Tests for trim policies, including multi-level trimming."""
+
+import numpy as np
+import pytest
+
+from repro.packet import (
+    GRADIENT_HEADER_BYTES,
+    GradientHeader,
+    MultiLevelTrim,
+    NeverTrim,
+    Packet,
+    SingleLevelTrim,
+    pack_bits,
+    trim_to_bits,
+)
+
+
+def plane_packet(coord_count=50):
+    """A 3-plane (1/7/24-bit) tiered packet as the multilevel codec emits."""
+    header = GradientHeader(
+        codec_id=5,
+        head_bits=1,
+        tail_bits=31,
+        message_id=1,
+        epoch=0,
+        chunk_index=1,
+        coord_offset=0,
+        coord_count=coord_count,
+        seed=0,
+    )
+    rng = np.random.default_rng(1)
+    signs = rng.integers(0, 2, coord_count).astype(np.uint32)
+    mags = rng.integers(0, 128, coord_count).astype(np.uint32)
+    residuals = rng.integers(0, 2**24, coord_count).astype(np.uint32)
+    payload = (
+        header.to_bytes()
+        + pack_bits(signs, 1)
+        + pack_bits(mags, 7)
+        + pack_bits(residuals, 24)
+    )
+    return Packet(src="a", dst="b", payload=payload, grad_header=header)
+
+
+class TestNeverTrim:
+    def test_always_drops(self):
+        policy = NeverTrim()
+        decision = policy.decide(plane_packet(), queue_fill=1.0)
+        assert decision.action == "drop"
+        assert policy.apply(plane_packet(), decision) is None
+
+
+class TestSingleLevelTrim:
+    def test_trims_gradient_packets(self):
+        policy = SingleLevelTrim()
+        pkt = plane_packet()
+        decision = policy.decide(pkt, queue_fill=0.99)
+        assert decision.action == "trim"
+        out = policy.apply(pkt, decision)
+        assert out is not None and out.is_trimmed
+
+    def test_drops_untrimmable_packets(self):
+        policy = SingleLevelTrim()
+        pkt = Packet(src="a", dst="b", payload=b"x" * 500)
+        assert policy.decide(pkt, queue_fill=0.99).action == "drop"
+
+
+class TestMultiLevelTrim:
+    def test_level_selection_by_fill(self):
+        policy = MultiLevelTrim(level_bits=[8, 1], thresholds=[0.7, 0.9])
+        pkt = plane_packet()
+        assert policy.decide(pkt, queue_fill=0.75).level == 0  # keep 8 bits
+        assert policy.decide(pkt, queue_fill=0.95).level == 1  # keep 1 bit
+
+    def test_below_threshold_overflow_uses_shallowest(self):
+        policy = MultiLevelTrim(level_bits=[8, 1], thresholds=[0.7, 0.9])
+        assert policy.decide(plane_packet(), queue_fill=0.1).level == 0
+
+    def test_apply_produces_expected_sizes(self):
+        policy = MultiLevelTrim(level_bits=[8, 1], thresholds=[0.7, 0.9])
+        pkt = plane_packet(coord_count=50)
+        keep8 = policy.apply(pkt, policy.decide(pkt, 0.75))
+        keep1 = policy.apply(pkt, policy.decide(pkt, 0.95))
+        # 50 coords: sign plane 7 B, magnitude plane 44 B, residual 150 B.
+        assert len(keep8.payload) == GRADIENT_HEADER_BYTES + 7 + 44
+        assert len(keep1.payload) == GRADIENT_HEADER_BYTES + 7
+        assert keep8.grad_header.head_bits == 8
+        assert keep1.grad_header.head_bits == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="same length"):
+            MultiLevelTrim(level_bits=[8], thresholds=[0.5, 0.9])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            MultiLevelTrim(level_bits=[8, 1], thresholds=[0.9, 0.5])
+        with pytest.raises(ValueError, match="non-increasing"):
+            MultiLevelTrim(level_bits=[1, 8], thresholds=[0.5, 0.9])
+
+
+class TestTrimToBits:
+    def test_keep_bits_must_hit_plane_boundary(self):
+        with pytest.raises(ValueError, match="prefix-plane boundary"):
+            trim_to_bits(plane_packet(), keep_bits=5)
+
+    def test_keep_all_bits_is_identity(self):
+        pkt = plane_packet()
+        assert trim_to_bits(pkt, keep_bits=32).payload == pkt.payload
+
+    def test_requires_gradient_packet(self):
+        with pytest.raises(ValueError, match="not a gradient"):
+            trim_to_bits(Packet(src="a", dst="b", payload=b"zz"), 1)
+
+    def test_cannot_keep_more_than_total(self):
+        with pytest.raises(ValueError, match="cannot keep"):
+            trim_to_bits(plane_packet(), keep_bits=40)
+
+    def test_two_plane_default_head_trim(self):
+        """trim_to_bits with (P, Q) planes matches Packet.trim for P=1."""
+        from tests.packet.test_packet import gradient_packet
+
+        pkt = gradient_packet(coord_count=100)
+        via_policy = trim_to_bits(pkt, keep_bits=1, plane_bits=(1, 31))
+        via_packet = pkt.trim()
+        assert via_policy.payload[GRADIENT_HEADER_BYTES:] == via_packet.payload[
+            GRADIENT_HEADER_BYTES:
+        ]

@@ -1,0 +1,112 @@
+"""Tests for the randomized Hadamard rotation layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transforms import irht, random_signs, rht, rotate_rows, unrotate_rows
+
+
+class TestRandomSigns:
+    def test_deterministic(self):
+        assert np.array_equal(random_signs(64, 5), random_signs(64, 5))
+
+    def test_values_are_plus_minus_one(self):
+        signs = random_signs(1000, 7)
+        assert set(np.unique(signs)) <= {-1.0, 1.0}
+
+    def test_roughly_balanced(self):
+        signs = random_signs(10000, 11)
+        assert abs(signs.mean()) < 0.05
+
+    def test_seed_changes_signs(self):
+        assert not np.array_equal(random_signs(128, 1), random_signs(128, 2))
+
+
+class TestRhtInverse:
+    def test_irht_inverts_rht(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(256)
+        assert np.allclose(irht(rht(x, seed=9), seed=9), x)
+
+    def test_wrong_seed_does_not_invert(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(256)
+        assert not np.allclose(irht(rht(x, seed=9), seed=10), x)
+
+    def test_norm_preserved(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(128)
+        assert np.isclose(np.linalg.norm(rht(x, 3)), np.linalg.norm(x))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            rht(np.zeros(10), 0)
+        with pytest.raises(ValueError):
+            irht(np.zeros(10), 0)
+
+    def test_gaussianizes_spiky_input(self):
+        """A 1-sparse vector becomes dense and symmetric after RHT."""
+        x = np.zeros(1024)
+        x[17] = 100.0
+        r = rht(x, seed=3)
+        # Every rotated coordinate has the same magnitude for 1-sparse input.
+        assert np.allclose(np.abs(r), 100.0 / np.sqrt(1024))
+        assert abs(np.mean(np.sign(r))) < 0.2
+
+
+class TestRotateRows:
+    def test_round_trip_exact_multiple(self):
+        rng = np.random.default_rng(3)
+        flat = rng.standard_normal(64 * 4)
+        rotated = rotate_rows(flat, row_size=64, seed=1)
+        assert rotated.rows.shape == (4, 64)
+        assert np.allclose(unrotate_rows(rotated), flat)
+
+    def test_round_trip_with_padding(self):
+        rng = np.random.default_rng(4)
+        flat = rng.standard_normal(100)  # 100 < 128, single padded row
+        rotated = rotate_rows(flat, row_size=64, seed=1)
+        assert rotated.original_length == 100
+        assert np.allclose(unrotate_rows(rotated), flat)
+
+    def test_short_input_uses_small_row(self):
+        flat = np.arange(5, dtype=float)
+        rotated = rotate_rows(flat, row_size=2**15, seed=0)
+        assert rotated.row_size == 8  # next power of two, not 32768
+        assert np.allclose(unrotate_rows(rotated), flat)
+
+    def test_partial_last_row_padded(self):
+        rng = np.random.default_rng(5)
+        flat = rng.standard_normal(64 + 10)
+        rotated = rotate_rows(flat, row_size=64, seed=2)
+        assert rotated.rows.shape == (2, 64)
+        assert np.allclose(unrotate_rows(rotated), flat)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            rotate_rows(np.zeros(0), 64, 0)
+
+    def test_rejects_bad_row_size(self):
+        with pytest.raises(ValueError):
+            rotate_rows(np.ones(10), 100, 0)
+
+    def test_rows_norm_matches_input(self):
+        rng = np.random.default_rng(6)
+        flat = rng.standard_normal(256)
+        rotated = rotate_rows(flat, row_size=64, seed=3)
+        assert np.isclose(np.linalg.norm(rotated.rows), np.linalg.norm(flat))
+
+
+@settings(max_examples=40)
+@given(
+    n=st.integers(min_value=1, max_value=700),
+    log_row=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_rotate_rows_round_trip_property(n, log_row, seed):
+    """rotate_rows/unrotate_rows is lossless for any length and row size."""
+    flat = np.random.default_rng(seed).standard_normal(n)
+    rotated = rotate_rows(flat, row_size=1 << log_row, seed=seed)
+    assert np.allclose(unrotate_rows(rotated), flat, atol=1e-9)

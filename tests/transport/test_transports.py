@@ -1,0 +1,227 @@
+"""Integration tests: transports over the simulated dumbbell network."""
+
+import numpy as np
+import pytest
+
+from repro.core import RHTCodec, decode_packets, nmse, packetize
+from repro.net import FlowLog, dumbbell
+from repro.packet import SingleLevelTrim
+from repro.transport import (
+    AIMD,
+    FixedWindow,
+    GoBackNReceiver,
+    GoBackNSender,
+    RttEstimator,
+    TrimmingReceiver,
+    TrimmingSender,
+    segment_bytes,
+)
+
+
+def run_gbn(drop=0.0, num_bytes=500_000, rto_min=1e-3, until=5.0):
+    net = dumbbell(pairs=1)
+    net.set_impairment("s0", "s1", drop_prob=drop)
+    log = FlowLog()
+    sender = GoBackNSender(
+        net.hosts["tx0"], flow_id=1, cc=AIMD(initial_window=32), log=log, rto_min=rto_min
+    )
+    messages = []
+    GoBackNReceiver(net.hosts["rx0"], flow_id=1, on_message=messages.append)
+    sender.send_message(segment_bytes("tx0", "rx0", num_bytes, flow_id=1))
+    net.sim.run(until=until)
+    return sender, messages, log
+
+
+class TestSegmentBytes:
+    def test_framing(self):
+        packets = segment_bytes("a", "b", 5000, flow_id=3)
+        assert [p.seq for p in packets] == list(range(len(packets)))
+        assert all(p.seq_total == len(packets) for p in packets)
+        assert sum(len(p.payload) for p in packets) == 5000
+
+    def test_respects_mtu(self):
+        for pkt in segment_bytes("a", "b", 100_000, flow_id=1, mtu=576):
+            assert pkt.wire_size <= 576
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            segment_bytes("a", "b", 0, flow_id=1)
+
+
+class TestRttEstimator:
+    def test_first_sample_initializes(self):
+        est = RttEstimator(rto_min=1e-6)
+        est.sample(100e-6)
+        assert est.srtt == pytest.approx(100e-6)
+        assert est.rto >= 100e-6
+
+    def test_rto_floor_and_cap(self):
+        est = RttEstimator(rto_min=1e-3, rto_max=10e-3)
+        est.sample(1e-6)
+        assert est.rto == 1e-3
+        for _ in range(20):
+            est.backoff()
+        assert est.rto == 10e-3
+
+    def test_backoff_resets_on_sample(self):
+        est = RttEstimator(rto_min=1e-3, rto_max=100e-3)
+        est.sample(1e-3)
+        est.backoff()
+        est.backoff()
+        widened = est.rto
+        est.sample(1e-3)
+        assert est.rto < widened
+
+
+class TestGoBackN:
+    def test_lossless_delivery(self):
+        sender, messages, log = run_gbn(drop=0.0)
+        assert sender.done
+        assert len(messages) == 1
+        assert log.total_retransmissions() == 0
+        assert sum(len(p.payload) for p in messages[0]) == 500_000
+
+    def test_in_order_delivery(self):
+        _, messages, _ = run_gbn(drop=0.0)
+        seqs = [p.seq for p in messages[0]]
+        assert seqs == sorted(seqs)
+
+    def test_loss_triggers_retransmission(self):
+        sender, messages, log = run_gbn(drop=0.01)
+        assert sender.done
+        assert len(messages) == 1
+        assert log.total_retransmissions() > 0
+
+    def test_fct_degrades_sharply_with_loss(self):
+        """The Section 4.4 baseline behaviour: a few percent of drops
+        multiply the completion time."""
+        _, _, log_clean = run_gbn(drop=0.0)
+        _, _, log_lossy = run_gbn(drop=0.02)
+        assert log_lossy.max_fct() > 5 * log_clean.max_fct()
+
+    def test_rejects_concurrent_messages(self):
+        net = dumbbell(pairs=1)
+        sender = GoBackNSender(net.hosts["tx0"], flow_id=1)
+        sender.send_message(segment_bytes("tx0", "rx0", 10_000, flow_id=1))
+        with pytest.raises(RuntimeError, match="already in flight"):
+            sender.send_message(segment_bytes("tx0", "rx0", 10_000, flow_id=1))
+
+    def test_rejects_empty_message(self):
+        net = dumbbell(pairs=1)
+        sender = GoBackNSender(net.hosts["tx0"], flow_id=1)
+        with pytest.raises(ValueError):
+            sender.send_message([])
+
+    def test_trimmed_arrivals_treated_as_loss(self):
+        net = dumbbell(pairs=1)
+        net.set_impairment("s0", "s1", trim_prob=0.5)
+        log = FlowLog()
+        sender = GoBackNSender(
+            net.hosts["tx0"], flow_id=1, cc=AIMD(initial_window=16), log=log, rto_min=1e-4
+        )
+        receiver = GoBackNReceiver(net.hosts["rx0"], flow_id=1)
+        enc = RHTCodec(root_seed=0, row_size=1024).encode(
+            np.random.default_rng(0).standard_normal(20000)
+        )
+        sender.send_message(packetize(enc, "tx0", "rx0", flow_id=1))
+        net.sim.run(until=5.0)
+        assert sender.done
+        assert receiver.trimmed_rejected > 0
+        assert log.total_retransmissions() > 0
+
+
+class TestTrimmingTransport:
+    def test_lossless_delivery_decodes(self):
+        net = dumbbell(pairs=1)
+        x = np.random.default_rng(1).standard_normal(50_000)
+        codec = RHTCodec(root_seed=4, row_size=4096)
+        enc = codec.encode(x)
+        sender = TrimmingSender(net.hosts["tx0"], flow_id=2, cc=FixedWindow(64))
+        messages = []
+        TrimmingReceiver(net.hosts["rx0"], flow_id=2, on_message=messages.append)
+        sender.send_message(packetize(enc, "tx0", "rx0", flow_id=2))
+        net.sim.run(until=5.0)
+        assert sender.done
+        decoded = decode_packets(messages[0], codec)
+        assert nmse(x, decoded) < 1e-12
+
+    def test_trims_complete_without_retransmission(self):
+        """The paper's core transport property: trims are deliveries."""
+        net = dumbbell(pairs=1)
+        net.set_impairment("s0", "s1", trim_prob=0.5)
+        x = np.random.default_rng(2).standard_normal(50_000)
+        codec = RHTCodec(root_seed=4, row_size=4096)
+        log = FlowLog()
+        sender = TrimmingSender(
+            net.hosts["tx0"], flow_id=2, cc=FixedWindow(64), log=log
+        )
+        messages = []
+        TrimmingReceiver(net.hosts["rx0"], flow_id=2, on_message=messages.append)
+        sender.send_message(packetize(codec.encode(x), "tx0", "rx0", flow_id=2))
+        net.sim.run(until=5.0)
+        assert sender.done
+        assert log.total_retransmissions() == 0
+        assert log.total_trimmed() > 0
+        decoded = decode_packets(messages[0], codec)
+        assert nmse(x, decoded) < 0.6
+
+    def test_fct_stays_flat_under_trimming(self):
+        """Unlike go-back-N under drops, trimming keeps FCT near clean."""
+        fcts = {}
+        for trim in [0.0, 0.5]:
+            net = dumbbell(pairs=1)
+            net.set_impairment("s0", "s1", trim_prob=trim)
+            x = np.random.default_rng(3).standard_normal(100_000)
+            codec = RHTCodec(root_seed=1, row_size=4096)
+            log = FlowLog()
+            sender = TrimmingSender(
+                net.hosts["tx0"], flow_id=2, cc=FixedWindow(64), log=log
+            )
+            TrimmingReceiver(net.hosts["rx0"], flow_id=2)
+            sender.send_message(packetize(codec.encode(x), "tx0", "rx0", flow_id=2))
+            net.sim.run(until=5.0)
+            fcts[trim] = log.max_fct()
+        assert fcts[0.5] < fcts[0.0] * 1.5
+
+    def test_switch_trimming_end_to_end(self):
+        """Overload a shallow trim-enabled switch buffer: the message still
+        completes with zero drops and the decode succeeds."""
+        net = dumbbell(
+            pairs=1,
+            edge_rate_bps=10e9,
+            bottleneck_rate_bps=1e9,
+            trim_policy=SingleLevelTrim(),
+            buffer_bytes=20_000,
+        )
+        x = np.random.default_rng(5).standard_normal(100_000)
+        codec = RHTCodec(root_seed=9, row_size=4096)
+        log = FlowLog()
+        sender = TrimmingSender(
+            net.hosts["tx0"], flow_id=7, cc=FixedWindow(256), log=log
+        )
+        messages = []
+        TrimmingReceiver(net.hosts["rx0"], flow_id=7, on_message=messages.append)
+        sender.send_message(packetize(codec.encode(x), "tx0", "rx0", flow_id=7))
+        net.sim.run(until=5.0)
+        assert sender.done
+        stats = net.total_switch_stats()
+        assert stats["trimmed"] > 0
+        decoded = decode_packets(messages[0], codec)
+        assert nmse(x, decoded) < 0.6
+
+    def test_full_drop_recovered_by_timer(self):
+        net = dumbbell(pairs=1)
+        net.set_impairment("s0", "s1", drop_prob=0.05)
+        x = np.random.default_rng(6).standard_normal(20_000)
+        codec = RHTCodec(root_seed=2, row_size=1024)
+        log = FlowLog()
+        sender = TrimmingSender(
+            net.hosts["tx0"], flow_id=3, cc=FixedWindow(32), log=log, rto_min=1e-4
+        )
+        messages = []
+        TrimmingReceiver(net.hosts["rx0"], flow_id=3, on_message=messages.append)
+        sender.send_message(packetize(codec.encode(x), "tx0", "rx0", flow_id=3))
+        net.sim.run(until=5.0)
+        assert sender.done
+        assert log.total_retransmissions() > 0
+        assert nmse(x, decode_packets(messages[0], codec)) < 1e-12
