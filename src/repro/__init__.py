@@ -21,6 +21,9 @@ is organized as:
   of the paper's evaluation, the wall-clock cost model, trim-transcript
   replay, and FSDP.
 * :mod:`repro.baselines` — TernGrad, Top-K, PowerSGD comparisons.
+* :mod:`repro.obs` — unified observability: process-wide metrics
+  registry, gradient-path span tracing to JSONL, Prometheus text dump
+  and per-run reports (``python -m repro.obs.report``).
 
 Quickstart::
 
@@ -34,6 +37,66 @@ Quickstart::
     estimate = decode_packets(wire, codec)
     print(f"NMSE after trimming every packet: {nmse(gradient, estimate):.3f}")
 """
+
+import logging as _logging
+import os as _os
+import sys as _sys
+
+# Library logging convention: everything under the ``repro.*`` hierarchy,
+# silent by default (NullHandler), opted into by applications via
+# :func:`configure_logging` or the standard logging module.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+
+class _DelegatingStreamHandler(_logging.Handler):
+    """Handler resolving ``sys.stdout``/``sys.stderr`` at emit time.
+
+    Resolving lazily (instead of capturing the stream at configure time)
+    keeps log output visible to tools that swap the streams later —
+    pytest's capsys, tee wrappers, notebook kernels.
+    """
+
+    def __init__(self, stream_name: str = "stdout") -> None:
+        super().__init__()
+        if stream_name not in ("stdout", "stderr"):
+            raise ValueError(f"stream_name must be stdout or stderr, got {stream_name!r}")
+        self.stream_name = stream_name
+
+    def emit(self, record: _logging.LogRecord) -> None:
+        try:
+            stream = getattr(_sys, self.stream_name)
+            stream.write(self.format(record) + "\n")
+        except Exception:
+            self.handleError(record)
+
+
+def configure_logging(level=None, stream_name: str = "stdout", fmt: str = "%(message)s"):
+    """Attach one stream handler to the ``repro`` logger (idempotent).
+
+    Args:
+        level: logging level name or number; defaults to the
+            ``REPRO_LOG_LEVEL`` environment variable, then ``INFO``.
+        stream_name: ``"stdout"`` (default, CLI-friendly) or ``"stderr"``.
+        fmt: log record format (default: bare message, so CLI output
+            looks like plain prints).
+
+    Returns:
+        The configured ``repro`` logger.
+    """
+    logger = _logging.getLogger("repro")
+    if level is None:
+        level = _os.environ.get("REPRO_LOG_LEVEL", "INFO")
+    logger.setLevel(level)
+    for handler in logger.handlers:
+        if isinstance(handler, _DelegatingStreamHandler):
+            handler.stream_name = stream_name
+            handler.setFormatter(_logging.Formatter(fmt))
+            return logger
+    handler = _DelegatingStreamHandler(stream_name)
+    handler.setFormatter(_logging.Formatter(fmt))
+    logger.addHandler(handler)
+    return logger
+
 
 from .core import (
     EncodedGradient,
@@ -97,5 +160,6 @@ __all__ = [
     "TrainConfig",
     "TrimChannel",
     "TrimTranscript",
+    "configure_logging",
     "__version__",
 ]

@@ -9,15 +9,21 @@ Regenerates any paper figure/table without pytest::
     python -m repro.bench fig3 --scale full
     python -m repro.bench fig4
     python -m repro.bench all           # everything (slow)
+
+Pass ``--trace run.jsonl`` (or set ``REPRO_OBS_TRACE``) to record the
+gradient-path trace and append the observability report.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 
-from .harness import ascii_chart, format_table
+from .harness import ascii_chart, emit_obs_report, format_table, obs_from_env
+
+_log = logging.getLogger("repro.bench.cli")
 
 
 def _print_fig3(scale: str) -> None:
@@ -25,13 +31,13 @@ def _print_fig3(scale: str) -> None:
 
     panels = fig3_tta(scale)
     for rate, series in sorted(panels.items()):
-        print(f"\n[F3] top-1 accuracy vs modeled wall-clock, trim rate {rate:.1%}")
-        print(ascii_chart(series, x_label="seconds", y_label="top-1"))
+        _log.info("\n[F3] top-1 accuracy vs modeled wall-clock, trim rate %.1f%%", rate * 100)
+        _log.info("%s", ascii_chart(series, x_label="seconds", y_label="top-1"))
         rows = [
             [label, f"{pts[-1][0]:.1f}", f"{pts[-1][1]:.3f}"]
             for label, pts in series.items()
         ]
-        print(format_table(["codec", "end time (s)", "final top-1"], rows))
+        _log.info("%s", format_table(["codec", "end time (s)", "final top-1"], rows))
 
 
 def main(argv=None) -> int:
@@ -50,10 +56,23 @@ def main(argv=None) -> int:
         default=None,
         help="sweep size (default: REPRO_BENCH_SCALE or 'quick')",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a gradient-path JSONL trace here and append the run report",
+    )
     args = parser.parse_args(argv)
     if args.scale:
         os.environ["REPRO_BENCH_SCALE"] = args.scale
     scale = args.scale or os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+    from .. import configure_logging
+
+    configure_logging()
+    if args.trace:
+        os.environ["REPRO_OBS_TRACE"] = args.trace
+    tracer = obs_from_env()
 
     from .experiments import (
         f2_layout,
@@ -79,7 +98,10 @@ def main(argv=None) -> int:
         if name == "fig3":
             _print_fig3(scale)
         else:
-            print("\n" + simple[name]().render())
+            _log.info("\n%s", simple[name]().render())
+    if tracer is not None:
+        emit_obs_report(tracer, title=f"bench {args.experiment}")
+        tracer.close()
     return 0
 
 

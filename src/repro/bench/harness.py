@@ -15,7 +15,19 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["bench_scale", "emit", "format_table", "ascii_chart", "ExperimentResult"]
+from ..obs.export import build_report
+from ..obs.metrics import get_registry
+from ..obs.trace import Tracer, get_tracer, trace_to
+
+__all__ = [
+    "bench_scale",
+    "emit",
+    "format_table",
+    "ascii_chart",
+    "ExperimentResult",
+    "obs_from_env",
+    "emit_obs_report",
+]
 
 
 def bench_scale() -> str:
@@ -57,6 +69,31 @@ def format_table(
     for row in cells[1:]:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def obs_from_env() -> Optional[Tracer]:
+    """Enable gradient-path tracing when ``REPRO_OBS_TRACE`` names a file.
+
+    Benchmarks call this once at startup; it returns the tracer (so the
+    caller can close/report it) or None when the variable is unset.
+    """
+    path = os.environ.get("REPRO_OBS_TRACE")
+    if not path:
+        return None
+    return trace_to(path)
+
+
+def emit_obs_report(tracer: Optional[Tracer] = None, title: str = "bench run") -> None:
+    """Emit the observability report for ``tracer`` (default: the global one).
+
+    A disabled or empty tracer emits nothing, so benchmarks can call
+    this unconditionally.
+    """
+    tracer = tracer or get_tracer()
+    if not tracer.enabled or not tracer.events:
+        return
+    events = [e.to_json() for e in tracer.events]
+    emit("\n" + build_report(events, registry=get_registry(), title=title))
 
 
 def _fmt(value) -> str:

@@ -50,6 +50,37 @@ class ChannelStats:
         self.encode_seconds += other.encode_seconds
         self.decode_seconds += other.decode_seconds
 
+    def as_dict(self) -> dict:
+        return {
+            "messages": self.messages,
+            "coordinates": self.coordinates,
+            "packets_total": self.packets_total,
+            "packets_trimmed": self.packets_trimmed,
+            "packets_dropped": self.packets_dropped,
+            "bytes_sent": self.bytes_sent,
+            "bytes_saved_by_trim": self.bytes_saved_by_trim,
+            "encode_seconds": self.encode_seconds,
+            "decode_seconds": self.decode_seconds,
+            "trim_fraction": self.trim_fraction,
+        }
+
+    def publish(self, label: str) -> None:
+        """Mirror the current totals into the metrics registry as gauges.
+
+        Channels mutate these fields directly on the hot path, so the
+        registry copy is refreshed on demand (e.g. once per epoch by the
+        trainer) instead of per message.
+        """
+        from ..obs.metrics import get_registry
+
+        registry = get_registry()
+        for name, value in self.as_dict().items():
+            registry.gauge(
+                f"repro_channel_{name}",
+                f"ChannelStats.{name}, refreshed by publish()",
+                ("channel",),
+            ).set(float(value), channel=label)
+
 
 class GradientChannel:
     """Interface: transfer one flat vector from a worker to its peer."""

@@ -16,10 +16,13 @@ therefore visible in the experiments.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .channel import ChannelStats, GradientChannel, PerfectChannel
 from .ring import allreduce_mean, ring_allreduce
 
@@ -56,6 +59,12 @@ class CommHook:
         self.channel = channel or PerfectChannel()
         self.bucket_coords = bucket_coords
         self._message_counter = 0
+        hook = type(self).__name__
+        self._m_agg_seconds = get_registry().histogram(
+            "repro_collective_aggregate_seconds",
+            "wall time of one gradient aggregation",
+            ("hook",),
+        ).bind(hook=hook)
 
     @property
     def stats(self) -> ChannelStats:
@@ -67,6 +76,24 @@ class CommHook:
         return self._message_counter
 
     def aggregate(self, grads: List[np.ndarray], epoch: int) -> np.ndarray:
+        """Aggregate per-worker gradients (instrumented template method)."""
+        start = time.perf_counter()
+        out = self._aggregate(grads, epoch)
+        duration = time.perf_counter() - start
+        self._m_agg_seconds.observe(duration)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "collective.aggregate",
+                duration_s=duration,
+                hook=type(self).__name__,
+                epoch=epoch,
+                workers=len(grads),
+                coords=int(grads[0].size),
+            )
+        return out
+
+    def _aggregate(self, grads: List[np.ndarray], epoch: int) -> np.ndarray:
         raise NotImplementedError
 
 
@@ -79,7 +106,7 @@ class AllReduceHook(CommHook):
     own trim pattern), like DDP's 25 MB buckets.
     """
 
-    def aggregate(self, grads: List[np.ndarray], epoch: int) -> np.ndarray:
+    def _aggregate(self, grads: List[np.ndarray], epoch: int) -> np.ndarray:
         spans = bucket_bounds(grads[0].size, self.bucket_coords)
         if len(spans) == 1:
             return allreduce_mean(
@@ -103,7 +130,7 @@ class RingAllReduceHook(CommHook):
     deterministic for a given (epoch, message, worker) key).
     """
 
-    def aggregate(self, grads: List[np.ndarray], epoch: int) -> np.ndarray:
+    def _aggregate(self, grads: List[np.ndarray], epoch: int) -> np.ndarray:
         results = ring_allreduce(
             grads, self.channel, epoch=epoch, message_id=self.next_message_id()
         )

@@ -13,11 +13,13 @@ tail arrays plus masks, ready for the codec's decoder.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from ..obs.trace import get_tracer
 from ..packet.bitpack import pack_bits, packed_size, unpack_bits
 from ..packet.header import (
     FLAG_METADATA,
@@ -144,6 +146,19 @@ def packetize(
                 seq=chunk + 1,
             )
         )
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "packetize",
+            message_id=meta.message_id,
+            epoch=meta.epoch,
+            coords=enc.length,
+            packets=len(packets),
+            bytes=sum(p.wire_size for p in packets),
+            src=src,
+            dst=dst,
+            flow_id=flow_id,
+        )
     return packets
 
 
@@ -240,8 +255,22 @@ def decode_packets(
 
     When ``codec`` is omitted it is instantiated from the wire codec id.
     """
+    start = time.perf_counter()
     message = depacketize(packets, length=length)
     if codec is None:
         codec = codec_by_id(message.codec_id)
     enc = message.to_encoded()
-    return codec.decode(enc, trimmed=message.trimmed, missing=message.missing)
+    decoded = codec.decode(enc, trimmed=message.trimmed, missing=message.missing)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "decode",
+            duration_s=time.perf_counter() - start,
+            codec=type(codec).__name__,
+            coords=int(decoded.size),
+            packets=len(packets),
+            packets_trimmed=sum(1 for p in packets if p.is_trimmed),
+            coords_trimmed=int(np.count_nonzero(message.trimmed)),
+            coords_missing=int(np.count_nonzero(message.missing)),
+        )
+    return decoded

@@ -13,6 +13,8 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..packet.packet import Packet
 from .queues import ByteQueue, PriorityQueue
 from .simulator import Simulator
@@ -79,11 +81,31 @@ class Link:
         self.trim_prob = trim_prob
         self._rng = np.random.default_rng(seed)
         self._busy = False
-        # Telemetry.
+        # Telemetry: plain attributes stay the public API; the registry
+        # carries the same counts under a per-link label.
         self.packets_sent = 0
         self.bytes_sent = 0
         self.packets_dropped = 0
         self.packets_trimmed = 0
+        label = f"{src}->{dst.name}"
+        registry = get_registry()
+        self._m_packets = registry.counter(
+            "repro_link_packets_sent_total", "packets serialized onto the wire", ("link",)
+        ).bind(link=label)
+        self._m_bytes = registry.counter(
+            "repro_link_bytes_sent_total", "bytes serialized onto the wire", ("link",)
+        ).bind(link=label)
+        self._m_dropped = registry.counter(
+            "repro_link_packets_dropped_total",
+            "packets lost to probabilistic impairment",
+            ("link",),
+        ).bind(link=label)
+        self._m_trimmed = registry.counter(
+            "repro_link_packets_trimmed_total",
+            "packets trimmed by probabilistic impairment",
+            ("link",),
+        ).bind(link=label)
+        self._label = label
 
     @property
     def busy(self) -> bool:
@@ -124,11 +146,23 @@ class Link:
         self._busy = False
         self.packets_sent += 1
         self.bytes_sent += packet.wire_size
+        self._m_packets.inc()
+        self._m_bytes.inc(packet.wire_size)
         delivered: Optional[Packet] = packet
         if not packet.is_ack:
             if self.drop_prob > 0.0 and self._rng.random() < self.drop_prob:
                 delivered = None
                 self.packets_dropped += 1
+                self._m_dropped.inc()
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "link.drop",
+                        sim_time=self.sim.now,
+                        link=self._label,
+                        flow_id=packet.flow_id,
+                        seq=packet.seq,
+                    )
             elif (
                 self.trim_prob > 0.0
                 and packet.trimmable_bytes() is not None
@@ -136,6 +170,16 @@ class Link:
             ):
                 delivered = packet.trim()
                 self.packets_trimmed += 1
+                self._m_trimmed.inc()
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "link.trim",
+                        sim_time=self.sim.now,
+                        link=self._label,
+                        flow_id=packet.flow_id,
+                        seq=packet.seq,
+                    )
         if delivered is not None:
             final = delivered
             self.sim.schedule(self.delay_s, lambda: self.dst.receive(final, self))

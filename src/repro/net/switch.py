@@ -16,6 +16,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..packet.packet import Packet
 from ..packet.trim import NeverTrim, TrimPolicy
 from .link import Device, Link
@@ -38,6 +40,23 @@ class SwitchStats:
     def note_drop(self, kind: str) -> None:
         self.dropped += 1
         self.drops_by_kind[kind] = self.drops_by_kind.get(kind, 0) + 1
+
+    @property
+    def enqueues(self) -> int:
+        """Every packet that reached an egress decision."""
+        return self.forwarded + self.trimmed + self.dropped
+
+    @property
+    def trim_fraction(self) -> float:
+        """Trimmed share of all egress decisions (the paper's headline rate)."""
+        total = self.enqueues
+        return self.trimmed / total if total else 0.0
+
+    @property
+    def drop_fraction(self) -> float:
+        """Dropped share of all egress decisions."""
+        total = self.enqueues
+        return self.dropped / total if total else 0.0
 
 
 class Switch(Device):
@@ -75,6 +94,23 @@ class Switch(Device):
         # (ECMP).  A single-element list is plain shortest-path routing.
         self.routes: Dict[str, list] = {}
         self.stats = SwitchStats()
+        # Registry-backed twins of the SwitchStats counters (bound once:
+        # the forwarding path runs per packet).
+        registry = get_registry()
+        self._m_forwarded = registry.counter(
+            "repro_switch_forwarded_total", "packets forwarded intact", ("switch",)
+        ).bind(switch=name)
+        self._m_trimmed = registry.counter(
+            "repro_switch_trimmed_total", "packets trimmed on overflow", ("switch",)
+        ).bind(switch=name)
+        self._m_bytes_saved = registry.counter(
+            "repro_switch_trim_bytes_saved_total",
+            "wire bytes removed by trimming",
+            ("switch",),
+        ).bind(switch=name)
+        self._m_dropped = registry.counter(
+            "repro_switch_dropped_total", "packets dropped", ("switch", "kind")
+        )
 
     # -- wiring -------------------------------------------------------------
 
@@ -120,9 +156,25 @@ class Switch(Device):
     def receive(self, packet: Packet, ingress: Optional[Link] = None) -> None:
         next_hop = self._pick_next_hop(packet)
         if next_hop is None:
-            self.stats.note_drop("no-route")
+            self._drop(packet, "no-route")
             return
         self.forward(packet, self.ports[next_hop])
+
+    def _drop(self, packet: Packet, kind: str) -> None:
+        self.stats.note_drop(kind)
+        self._m_dropped.inc(switch=self.name, kind=kind)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "switch.drop",
+                sim_time=self.sim.now,
+                switch=self.name,
+                kind=kind,
+                dst=packet.dst,
+                flow_id=packet.flow_id,
+                seq=packet.seq,
+                bytes=packet.wire_size,
+            )
 
     def forward(self, packet: Packet, link: Link) -> None:
         """Enqueue on ``link``, trimming or dropping on overflow."""
@@ -130,11 +182,24 @@ class Switch(Device):
         fill_before = queue.data_band().fill
         if link.enqueue(packet):
             self.stats.forwarded += 1
+            self._m_forwarded.inc()
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "switch.forward",
+                    sim_time=self.sim.now,
+                    switch=self.name,
+                    dst=packet.dst,
+                    flow_id=packet.flow_id,
+                    seq=packet.seq,
+                    bytes=packet.wire_size,
+                    queue_bytes=queue.bytes_queued,
+                )
             return
         # Overflow.  Express-band packets (already tiny) are just dropped;
         # data packets go through the trim policy.
         if queue.band_for(packet) != len(queue.bands) - 1:
-            self.stats.note_drop("header-band-overflow")
+            self._drop(packet, "header-band-overflow")
             return
         decision = self.trim_policy.decide(packet, fill_before)
         remnant = (
@@ -143,17 +208,33 @@ class Switch(Device):
             else None
         )
         if remnant is None:
-            self.stats.note_drop("buffer-overflow")
+            self._drop(packet, "buffer-overflow")
             return
         if remnant.wire_size >= packet.wire_size:
             # Trimming did not shrink the packet; treat as overflow.
-            self.stats.note_drop("buffer-overflow")
+            self._drop(packet, "buffer-overflow")
             return
         if link.enqueue(remnant):
+            saved = packet.wire_size - remnant.wire_size
             self.stats.trimmed += 1
-            self.stats.trimmed_bytes_saved += packet.wire_size - remnant.wire_size
+            self.stats.trimmed_bytes_saved += saved
+            self._m_trimmed.inc()
+            self._m_bytes_saved.inc(saved)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "switch.trim",
+                    sim_time=self.sim.now,
+                    switch=self.name,
+                    dst=packet.dst,
+                    flow_id=packet.flow_id,
+                    seq=packet.seq,
+                    bytes_saved=saved,
+                    remnant_bytes=remnant.wire_size,
+                    fill_before=fill_before,
+                )
         else:
-            self.stats.note_drop("header-band-overflow")
+            self._drop(packet, "header-band-overflow")
 
     # -- introspection ----------------------------------------------------------
 

@@ -14,6 +14,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .link import Link
 from .simulator import Simulator
 
@@ -52,6 +54,18 @@ class QueueMonitor:
         self._watched: Dict[str, Link] = {}
         self.samples: Dict[str, List[QueueSample]] = {}
         self._running = False
+        registry = get_registry()
+        self._m_depth = registry.gauge(
+            "repro_queue_depth_bytes", "sampled egress queue depth", ("queue",)
+        )
+        self._m_depth_hist = registry.histogram(
+            "repro_queue_depth_bytes_hist",
+            "distribution of sampled egress queue depth",
+            ("queue",),
+            start=1.0,
+            factor=4.0,
+            num_buckets=20,
+        )
 
     def watch(self, label: str, link: Link) -> None:
         """Start recording the egress queue feeding ``link``."""
@@ -64,15 +78,27 @@ class QueueMonitor:
             self.sim.schedule(0.0, self._tick)
 
     def _tick(self) -> None:
+        tracer = get_tracer()
         for label, link in self._watched.items():
             queue = link.queue
+            depth = queue.bytes_queued
             self.samples[label].append(
                 QueueSample(
                     time=self.sim.now,
-                    bytes_queued=queue.bytes_queued,
+                    bytes_queued=depth,
                     packets=len(queue),
                 )
             )
+            self._m_depth.set(depth, queue=label)
+            self._m_depth_hist.observe(depth, queue=label)
+            if tracer.enabled:
+                tracer.event(
+                    "queue.sample",
+                    sim_time=self.sim.now,
+                    queue=label,
+                    bytes_queued=depth,
+                    packets=len(queue),
+                )
         past_deadline = self.stop_at is not None and self.sim.now >= self.stop_at
         # Only reschedule while the simulation has other live work: a
         # monitor must observe, not prolong, the run.
@@ -104,3 +130,24 @@ class QueueMonitor:
             return 0.0
         above = sum(1 for s in samples if s.bytes_queued > threshold_bytes)
         return above / len(samples)
+
+    def percentile(self, label: str, q: float) -> float:
+        """q-th percentile (q in [0, 100]) of the sampled depth in bytes."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        samples = self.samples[label]
+        if not samples:
+            return 0.0
+        return float(np.percentile([s.bytes_queued for s in samples], q))
+
+    def summary(self, label: str) -> Dict[str, float]:
+        """The report-ready stats bundle for one watched queue."""
+        samples = self.samples[label]
+        return {
+            "samples": float(len(samples)),
+            "mean": self.mean_bytes(label),
+            "p50": self.percentile(label, 50),
+            "p90": self.percentile(label, 90),
+            "p99": self.percentile(label, 99),
+            "peak": float(self.peak_bytes(label)),
+        }

@@ -1,0 +1,51 @@
+"""Unified observability: metrics registry, gradient-path tracing, exporters.
+
+The paper's claims are rate claims — trim fraction, bytes saved, NMSE,
+per-stage time — and this package is where the pipeline reports them:
+
+* :mod:`repro.obs.metrics` — process-wide counters/gauges/log-scale
+  histograms, always-on by default and a no-op when disabled;
+* :mod:`repro.obs.trace` — span events along the gradient path
+  (encode → packetize → switch enqueue/trim/drop → transport delivery →
+  decode) with sim-time and wall-time, streamed to JSONL;
+* :mod:`repro.obs.export` — Prometheus text dump, JSONL IO, and the
+  human-readable per-run report;
+* :mod:`repro.obs.report` — ``python -m repro.obs.report trace.jsonl``.
+
+Typical use::
+
+    from repro.obs import trace_to, get_registry, build_report
+
+    tracer = trace_to("trace.jsonl")      # enable span tracing
+    ...run a congested simulation...
+    print(build_report([e.to_json() for e in tracer.events],
+                       registry=get_registry()))
+"""
+
+from .export import build_report, prometheus_text, read_jsonl
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .trace import TraceEvent, Tracer, get_tracer, set_tracer, trace_to
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "Tracer",
+    "build_report",
+    "get_registry",
+    "get_tracer",
+    "prometheus_text",
+    "read_jsonl",
+    "set_registry",
+    "set_tracer",
+    "trace_to",
+]

@@ -1,0 +1,282 @@
+"""Exporters: Prometheus text dump, JSONL IO, per-run report.
+
+Three consumers, three formats:
+
+* a scrape endpoint or tee file wants :func:`prometheus_text`;
+* offline analysis wants the raw JSONL trace (:func:`read_jsonl`);
+* a human at the end of a run wants :func:`build_report` — the
+  paper-shaped summary (trim fraction, bytes saved, queue percentiles,
+  NMSE, per-stage time breakdown) computed *from the trace events*, so
+  the same report renders live in-process or later from a file.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import defaultdict
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from .metrics import Histogram, MetricsRegistry, _HistogramSeries, get_registry
+
+__all__ = ["prometheus_text", "read_jsonl", "build_report"]
+
+
+# -- Prometheus exposition ---------------------------------------------------
+
+
+def _label_str(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(f'{n}="{v}"' for n, v in zip(names, values))
+    return "{" + inner + "}"
+
+
+def _fmt_num(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    registry = registry or get_registry()
+    lines: List[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for key, value in metric.series():
+            if isinstance(value, _HistogramSeries):
+                assert isinstance(metric, Histogram)
+                cumulative = 0
+                for bound, count in zip(metric.bounds, value.buckets):
+                    cumulative += count
+                    label = _label_str(
+                        metric.label_names + ("le",), key + (repr(bound),)
+                    )
+                    lines.append(f"{metric.name}_bucket{label} {cumulative}")
+                label = _label_str(metric.label_names + ("le",), key + ("+Inf",))
+                lines.append(f"{metric.name}_bucket{label} {value.count}")
+                base = _label_str(metric.label_names, key)
+                lines.append(f"{metric.name}_sum{base} {repr(value.sum)}")
+                lines.append(f"{metric.name}_count{base} {value.count}")
+            else:
+                label = _label_str(metric.label_names, key)
+                lines.append(f"{metric.name}{label} {_fmt_num(float(value))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- JSONL -------------------------------------------------------------------
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a trace file written by :class:`repro.obs.trace.Tracer`."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+# -- per-run report ----------------------------------------------------------
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolation percentile on pre-sorted data."""
+    if not sorted_values:
+        return 0.0
+    rank = q / 100.0 * (len(sorted_values) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return sorted_values[lo]
+    frac = rank - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def _rows(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
+    cells = [list(map(str, headers))] + [list(map(str, r)) for r in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    out = [
+        "  " + " | ".join(h.ljust(w) for h, w in zip(cells[0], widths)),
+        "  " + "-+-".join("-" * w for w in widths),
+    ]
+    for row in cells[1:]:
+        out.append("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return out
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit, scale in (("GB", 1e9), ("MB", 1e6), ("kB", 1e3)):
+        if abs(n) >= scale:
+            return f"{n / scale:.2f} {unit}"
+    return f"{int(n)} B"
+
+
+def build_report(
+    events: Sequence[Mapping[str, Any]],
+    registry: Optional[MetricsRegistry] = None,
+    title: str = "run report",
+) -> str:
+    """Human-readable per-run summary from a trace event stream.
+
+    ``events`` are dicts in the JSONL schema (``TraceEvent.to_json``):
+    in-process callers pass ``[e.to_json() for e in tracer.events]``,
+    the CLI passes :func:`read_jsonl` output.  Pass a registry to append
+    a metrics snapshot section.
+    """
+    lines: List[str] = [f"== {title} =="]
+
+    sim_times = [e["sim_time"] for e in events if e.get("sim_time") is not None]
+    span = f", sim span {_fmt_s(max(sim_times) - min(sim_times))}" if sim_times else ""
+    lines.append(f"{len(events)} trace events{span}")
+
+    by_name: Dict[str, List[Mapping[str, Any]]] = defaultdict(list)
+    for ev in events:
+        by_name[ev.get("name", "?")].append(ev)
+
+    # -- switch behaviour: the paper's central rate claims ------------------
+    forwards = len(by_name.get("switch.forward", ()))
+    trims = len(by_name.get("switch.trim", ()))
+    drops = len(by_name.get("switch.drop", ()))
+    total = forwards + trims + drops
+    if total:
+        bytes_saved = sum(
+            ev.get("fields", {}).get("bytes_saved", 0)
+            for ev in by_name.get("switch.trim", ())
+        )
+        drop_kinds: Dict[str, int] = defaultdict(int)
+        for ev in by_name.get("switch.drop", ()):
+            drop_kinds[ev.get("fields", {}).get("kind", "?")] += 1
+        lines.append("")
+        lines.append("-- switch --")
+        lines.append(
+            f"  enqueues {total}: forwarded {forwards}, "
+            f"trimmed {trims}, dropped {drops}"
+        )
+        lines.append(
+            f"  trim fraction {trims / total:.4f}, "
+            f"drop fraction {drops / total:.4f}, "
+            f"bytes saved by trimming {_fmt_bytes(bytes_saved)}"
+        )
+        if drop_kinds:
+            kinds = ", ".join(f"{k}: {v}" for k, v in sorted(drop_kinds.items()))
+            lines.append(f"  drops by kind: {kinds}")
+
+    # -- queue depth percentiles -------------------------------------------
+    queue_samples: Dict[str, List[float]] = defaultdict(list)
+    for ev in by_name.get("queue.sample", ()):
+        fields = ev.get("fields", {})
+        queue_samples[str(fields.get("queue", "?"))].append(
+            float(fields.get("bytes_queued", 0))
+        )
+    if queue_samples:
+        lines.append("")
+        lines.append("-- queue depth (bytes) --")
+        rows = []
+        for label in sorted(queue_samples):
+            values = sorted(queue_samples[label])
+            rows.append(
+                [
+                    label,
+                    len(values),
+                    int(_percentile(values, 50)),
+                    int(_percentile(values, 90)),
+                    int(_percentile(values, 99)),
+                    int(values[-1]),
+                ]
+            )
+        lines.extend(_rows(["queue", "samples", "p50", "p90", "p99", "max"], rows))
+
+    # -- transport deliveries ----------------------------------------------
+    deliveries = by_name.get("transport.deliver", ())
+    if deliveries:
+        durations = [
+            float(ev["fields"]["fct_s"])
+            for ev in deliveries
+            if "fct_s" in ev.get("fields", {})
+        ]
+        lines.append("")
+        lines.append("-- transport --")
+        line = f"  messages delivered: {len(deliveries)}"
+        if durations:
+            line += (
+                f", completion time mean {_fmt_s(sum(durations) / len(durations))}"
+                f" / max {_fmt_s(max(durations))}"
+            )
+        lines.append(line)
+        retx = sum(
+            ev.get("fields", {}).get("retransmissions", 0) for ev in deliveries
+        )
+        lines.append(f"  retransmissions: {retx}")
+
+    # -- gradient quality ---------------------------------------------------
+    nmse_values = [
+        float(ev["fields"]["nmse"])
+        for ev in events
+        if "nmse" in ev.get("fields", {})
+        and ev["fields"]["nmse"] is not None
+        and math.isfinite(float(ev["fields"]["nmse"]))
+    ]
+    if nmse_values:
+        lines.append("")
+        lines.append("-- gradient quality --")
+        lines.append(
+            f"  NMSE over {len(nmse_values)} decodes: "
+            f"mean {sum(nmse_values) / len(nmse_values):.4g}, "
+            f"worst {max(nmse_values):.4g}, last {nmse_values[-1]:.4g}"
+        )
+
+    # -- per-stage wall-time breakdown -------------------------------------
+    staged: Dict[str, List[float]] = defaultdict(list)
+    for ev in events:
+        if ev.get("duration_s") is not None:
+            staged[ev.get("name", "?")].append(float(ev["duration_s"]))
+    if staged:
+        lines.append("")
+        lines.append("-- per-stage wall time --")
+        rows = []
+        grand_total = sum(sum(v) for v in staged.values())
+        for name in sorted(staged, key=lambda n: -sum(staged[n])):
+            durations = staged[name]
+            stage_total = sum(durations)
+            share = stage_total / grand_total if grand_total else 0.0
+            rows.append(
+                [
+                    name,
+                    len(durations),
+                    _fmt_s(stage_total),
+                    _fmt_s(stage_total / len(durations)),
+                    f"{share:.1%}",
+                ]
+            )
+        lines.extend(_rows(["stage", "events", "total", "mean", "share"], rows))
+
+    # -- optional metrics snapshot -----------------------------------------
+    if registry is not None:
+        snapshot = registry.snapshot()
+        flat_rows = []
+        for name, family in snapshot.items():
+            for label, value in family.items():
+                if isinstance(value, dict):  # histogram summary
+                    rendered = f"count={value['count']} sum={value['sum']:.6g}"
+                else:
+                    rendered = _fmt_num(float(value))
+                flat_rows.append([name, label or "-", rendered])
+        if flat_rows:
+            lines.append("")
+            lines.append("-- metrics snapshot --")
+            lines.extend(_rows(["metric", "labels", "value"], flat_rows))
+
+    return "\n".join(lines)

@@ -1,0 +1,394 @@
+"""Process-wide metrics registry: counters, gauges, log-scale histograms.
+
+The rate claims at the heart of the paper — trim fraction under
+congestion, bytes saved per round, per-stage time — are all *counters
+divided by counters*.  This module gives every layer of the pipeline one
+place to put those counters so a run can be summarized without chasing
+per-object attributes (``SwitchStats`` here, ``Link.packets_sent``
+there, ``ChannelStats`` somewhere else).
+
+Design constraints, in order:
+
+1. **Always-on must be cheap.**  A metric update on the packet hot path
+   is one ``enabled`` check, one tuple key, one dict write.  Hot callers
+   bind their label set once (:meth:`Counter.bind`) so per-packet cost
+   is a bound-method call and a dict ``get``/``set``.
+2. **Disabled must be a no-op.**  Every mutator checks
+   ``registry.enabled`` first and returns immediately; reads still work
+   (they just see zeros).
+3. **No dependencies.**  The registry imports nothing from the rest of
+   :mod:`repro`, so any layer may import it without cycles.
+
+The process-wide default registry is reachable via :func:`get_registry`
+and honours ``REPRO_OBS_METRICS=0`` to start disabled.  Tests that need
+isolation install a fresh registry with :func:`set_registry` (and should
+restore the previous one afterwards).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+
+class Metric:
+    """Base class: a named family of labelled series."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        registry: "MetricsRegistry",
+        label_names: Sequence[str] = (),
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self._registry = registry
+        self._series: Dict[Tuple[str, ...], object] = {}
+
+    def _key(self, labels: Mapping[str, object]) -> Tuple[str, ...]:
+        if len(labels) != len(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(labels)}"
+            )
+        try:
+            return tuple(str(labels[n]) for n in self.label_names)
+        except KeyError as exc:
+            raise ValueError(f"{self.name}: missing label {exc}") from exc
+
+    def series(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """(label-values, value) pairs in sorted label order."""
+        return sorted(self._series.items())
+
+    def labels_of(self, key: Tuple[str, ...]) -> Dict[str, str]:
+        return dict(zip(self.label_names, key))
+
+    def clear(self) -> None:
+        self._series.clear()
+
+
+class _BoundScalar:
+    """A (metric, label-key) pair pre-resolved for hot paths."""
+
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: Metric, key: Tuple[str, ...]) -> None:
+        self._metric = metric
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        metric = self._metric
+        if not metric._registry.enabled:
+            return
+        series = metric._series
+        series[self._key] = series.get(self._key, 0.0) + amount
+
+    def set(self, value: float) -> None:
+        metric = self._metric
+        if not metric._registry.enabled:
+            return
+        metric._series[self._key] = float(value)
+
+    @property
+    def value(self) -> float:
+        return float(self._metric._series.get(self._key, 0.0))
+
+
+class Counter(Metric):
+    """Monotonically increasing count (packets, bytes, rounds)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up (got {amount})")
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return float(self._series.get(self._key(labels), 0.0))
+
+    def total(self) -> float:
+        """Sum across every label combination."""
+        return float(sum(self._series.values()))
+
+    def bind(self, **labels: object) -> _BoundScalar:
+        """Pre-resolve a label set for per-packet use."""
+        return _BoundScalar(self, self._key(labels))
+
+
+class Gauge(Metric):
+    """Point-in-time value (queue depth, epoch, loss)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        self._series[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return float(self._series.get(self._key(labels), 0.0))
+
+    def bind(self, **labels: object) -> _BoundScalar:
+        return _BoundScalar(self, self._key(labels))
+
+
+class _HistogramSeries:
+    """Bucket counts + running sum for one label combination."""
+
+    __slots__ = ("buckets", "count", "sum")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.buckets = [0] * (num_buckets + 1)  # +1 overflow bucket
+        self.count = 0
+        self.sum = 0.0
+
+
+class _BoundHistogram:
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: "Histogram", key: Tuple[str, ...]) -> None:
+        self._metric = metric
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        metric = self._metric
+        if not metric._registry.enabled:
+            return
+        metric._observe(self._key, value)
+
+
+class Histogram(Metric):
+    """Log-scale histogram: geometric bucket bounds.
+
+    Buckets span ``[start, start * factor ** (num_buckets - 1)]``; the
+    default covers nanoseconds to ~20 minutes for time-like values and
+    single bytes to ~1 TB for size-like values with one parametrisation
+    (1e-9 .. 1e12 at decade spacing).  Values above the last bound land
+    in an overflow bucket; percentiles are interpolated geometrically
+    inside the owning bucket, which is accurate to the bucket factor.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        registry: "MetricsRegistry",
+        label_names: Sequence[str] = (),
+        start: float = 1e-9,
+        factor: float = 10.0,
+        num_buckets: int = 22,
+    ) -> None:
+        super().__init__(name, help_text, registry, label_names)
+        if start <= 0 or factor <= 1 or num_buckets < 1:
+            raise ValueError("need start > 0, factor > 1, num_buckets >= 1")
+        self.bounds = [start * factor**i for i in range(num_buckets)]
+        self._log_start = math.log(start)
+        self._log_factor = math.log(factor)
+
+    # -- recording ----------------------------------------------------------
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= self.bounds[0]:
+            return 0
+        if value > self.bounds[-1]:
+            return len(self.bounds)  # overflow
+        # Direct log-index beats a bisect on the hot path.
+        idx = int(math.ceil((math.log(value) - self._log_start) / self._log_factor - 1e-12))
+        return min(max(idx, 0), len(self.bounds) - 1)
+
+    def _observe(self, key: Tuple[str, ...], value: float) -> None:
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.bounds))
+        series.buckets[self._bucket_index(value)] += 1
+        series.count += 1
+        series.sum += value
+
+    def observe(self, value: float, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        self._observe(self._key(labels), value)
+
+    def bind(self, **labels: object) -> _BoundHistogram:
+        return _BoundHistogram(self, self._key(labels))
+
+    # -- queries ------------------------------------------------------------
+
+    def _get(self, labels: Mapping[str, object]) -> Optional[_HistogramSeries]:
+        series = self._series.get(self._key(labels))
+        return series if isinstance(series, _HistogramSeries) else None
+
+    def count(self, **labels: object) -> int:
+        series = self._get(labels)
+        return series.count if series else 0
+
+    def total(self, **labels: object) -> float:
+        series = self._get(labels)
+        return series.sum if series else 0.0
+
+    def mean(self, **labels: object) -> float:
+        series = self._get(labels)
+        return series.sum / series.count if series and series.count else 0.0
+
+    def percentile(self, q: float, **labels: object) -> float:
+        """Estimated q-th percentile (q in [0, 100])."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        series = self._get(labels)
+        if series is None or series.count == 0:
+            return 0.0
+        rank = q / 100.0 * series.count
+        seen = 0
+        for i, n in enumerate(series.buckets):
+            seen += n
+            if seen >= rank and n:
+                if i >= len(self.bounds):
+                    return self.bounds[-1] * math.sqrt(
+                        self.bounds[-1] / self.bounds[-2]
+                    )
+                lower = self.bounds[i - 1] if i else self.bounds[0] / math.e
+                return math.sqrt(lower * self.bounds[i])
+        return self.bounds[-1]
+
+
+class MetricsRegistry:
+    """Name -> metric family; one per process by default.
+
+    Args:
+        enabled: start collecting immediately (default: yes, unless
+            ``REPRO_OBS_METRICS=0`` is set in the environment).
+    """
+
+    def __init__(self, enabled: Optional[bool] = None) -> None:
+        if enabled is None:
+            enabled = os.environ.get("REPRO_OBS_METRICS", "1") != "0"
+        self.enabled = enabled
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every series; metric families stay registered."""
+        for metric in self._metrics.values():
+            metric.clear()
+
+    # -- registration -------------------------------------------------------
+
+    def _register(self, cls, name: str, help_text: str, labels: Sequence[str], **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.label_names != tuple(labels):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.label_names}"
+                )
+            return existing
+        metric = cls(name, help_text, self, labels, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "", labels: Sequence[str] = ()) -> Counter:
+        """Get-or-create a counter family (idempotent)."""
+        return self._register(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        start: float = 1e-9,
+        factor: float = 10.0,
+        num_buckets: int = 22,
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help_text, labels,
+            start=start, factor=factor, num_buckets=num_buckets,
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def collect(self) -> List[Metric]:
+        """All metric families, sorted by name."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict dump: {metric: {label-string: value}}.
+
+        Histogram series dump as ``{"count": n, "sum": s}``.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for metric in self.collect():
+            family: Dict[str, object] = {}
+            for key, value in metric.series():
+                label = ",".join(
+                    f"{n}={v}" for n, v in zip(metric.label_names, key)
+                )
+                if isinstance(value, _HistogramSeries):
+                    family[label] = {"count": value.count, "sum": value.sum}
+                else:
+                    family[label] = value
+            out[metric.name] = family
+        return out
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the default; returns the previous one.
+
+    Already-constructed instrumented objects keep the registry they
+    bound at construction time, so install a fresh registry *before*
+    building the network/trainer you want to observe in isolation.
+    """
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous

@@ -1,0 +1,54 @@
+"""Render a per-run report from a JSONL trace file.
+
+Usage::
+
+    python -m repro.obs.report trace.jsonl
+    repro-report trace.jsonl --title "congested dumbbell"
+
+The input is the event stream written by
+:class:`repro.obs.trace.Tracer` (one JSON object per line); the output
+is the same report :func:`repro.obs.export.build_report` produces
+in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+
+from .export import build_report, read_jsonl
+
+_log = logging.getLogger("repro.obs.report")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Render a run report from a repro observability JSONL trace.",
+    )
+    parser.add_argument("trace", help="path to the JSONL trace file")
+    parser.add_argument(
+        "--title", default="run report", help="report heading (default: 'run report')"
+    )
+    args = parser.parse_args(argv)
+
+    from .. import configure_logging
+
+    configure_logging()
+    try:
+        events = read_jsonl(args.trace)
+    except OSError as exc:
+        _log.error("cannot read trace %s: %s", args.trace, exc)
+        return 1
+    except ValueError as exc:  # malformed JSON line
+        _log.error("trace %s is not valid JSONL: %s", args.trace, exc)
+        return 1
+    if not events:
+        _log.warning("trace %s holds no events", args.trace)
+    _log.info("%s", build_report(events, title=args.title))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

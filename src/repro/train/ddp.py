@@ -15,12 +15,15 @@ memory.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
 from ..collectives.hooks import AllReduceHook, CommHook
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..nn.data import DataLoader, SyntheticImages
 from ..nn.functional import cross_entropy
 from ..nn.layers import Module
@@ -190,11 +193,30 @@ class DDPTrainer:
         self.num_coords = model.num_parameters()
         self.history = TrainingHistory(self.label)
         self._rounds_run = 0
+        registry = get_registry()
+        self._m_rounds = registry.counter(
+            "repro_train_rounds_total", "synchronous rounds completed", ("run",)
+        ).bind(run=self.label)
+        self._m_round_seconds = registry.histogram(
+            "repro_train_round_seconds",
+            "wall time of one synchronous round (compute + aggregate)",
+            ("run",),
+        ).bind(run=self.label)
+        self._m_epoch = registry.gauge(
+            "repro_train_epoch", "last completed epoch", ("run",)
+        ).bind(run=self.label)
+        self._m_loss = registry.gauge(
+            "repro_train_loss", "mean train loss of the last epoch", ("run",)
+        ).bind(run=self.label)
+        self._m_top1 = registry.gauge(
+            "repro_train_top1", "test top-1 after the last epoch", ("run",)
+        ).bind(run=self.label)
 
     # -- one synchronous round -------------------------------------------------
 
     def _round(self, batches, epoch: int) -> float:
         """Forward/backward per worker, aggregate, step.  Returns loss."""
+        round_start = time.perf_counter()
         grads: List[np.ndarray] = []
         losses: List[float] = []
         for images, labels in batches:
@@ -211,6 +233,19 @@ class DDPTrainer:
         self.model.load_flat_gradient(aggregated)
         self.optimizer.step()
         self._rounds_run += 1
+        self._m_rounds.inc()
+        round_seconds = time.perf_counter() - round_start
+        self._m_round_seconds.observe(round_seconds)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "train.round",
+                duration_s=round_seconds,
+                run=self.label,
+                epoch=epoch,
+                round=self._rounds_run,
+                loss=float(np.mean(losses)),
+            )
         return float(np.mean(losses))
 
     def _epoch_round_time(self) -> RoundTime:
@@ -256,6 +291,22 @@ class DDPTrainer:
                     diverged=diverged,
                 )
             )
+            self._m_epoch.set(epoch)
+            self._m_loss.set(mean_loss)
+            self._m_top1.set(accuracy[1])
+            self.hook.stats.publish(label=self.label)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "train.epoch",
+                    run=self.label,
+                    epoch=epoch,
+                    loss=mean_loss,
+                    top1=accuracy[1],
+                    trim_fraction=self.hook.stats.trim_fraction,
+                    modeled_wall_clock_s=wall_clock,
+                    diverged=diverged,
+                )
             if diverged:
                 break
             self.scheduler.step()

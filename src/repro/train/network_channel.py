@@ -21,8 +21,9 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..collectives.channel import GradientChannel
-from ..core.codec import GradientCodec
+from ..core.codec import GradientCodec, nmse
 from ..core.packetizer import decode_packets, packetize
+from ..obs.trace import get_tracer
 from ..net.topology import Network
 from ..transport.congestion import CongestionControl, FixedWindow
 from ..transport.trimming import TrimmingReceiver, TrimmingSender
@@ -72,7 +73,16 @@ class NetworkChannel(GradientChannel):
         self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0, worker: int = 0
     ) -> np.ndarray:
         flat = np.asarray(flat, dtype=np.float64)
-        enc = self.codec.encode(flat, epoch=epoch, message_id=message_id)
+        tracer = get_tracer()
+        with tracer.span(
+            "encode",
+            codec=type(self.codec).__name__,
+            coords=int(flat.size),
+            epoch=epoch,
+            message_id=message_id,
+            worker=worker,
+        ):
+            enc = self.codec.encode(flat, epoch=epoch, message_id=message_id)
         net = self.network_factory()
         flow_id = 77_000 + worker
         packets = packetize(
@@ -106,6 +116,17 @@ class NetworkChannel(GradientChannel):
         self.stats.packets_total += len(data_packets)
         self.stats.packets_trimmed += trimmed
         self.stats.bytes_sent += sum(p.wire_size for p in wire)
+        if tracer.enabled:
+            tracer.event(
+                "channel.transfer",
+                sim_time=net.sim.now,
+                epoch=epoch,
+                message_id=message_id,
+                worker=worker,
+                fct_s=self.fcts[-1],
+                trim_fraction=self.last_trim_fraction,
+                nmse=float(nmse(flat, decoded)),
+            )
         return decoded
 
     @property

@@ -24,6 +24,8 @@ import numpy as np
 from ..collectives.channel import GradientChannel
 from ..core.codec import GradientCodec
 from ..core.layout import coords_per_packet
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..packet.header import GRADIENT_HEADER_BYTES, WIRE_HEADER_BYTES
 from ..transforms.prng import shared_generator
 from .replay import TrimTranscript
@@ -74,6 +76,15 @@ class TrimChannel(GradientChannel):
         self._trimmed_packet_bytes = WIRE_HEADER_BYTES + GRADIENT_HEADER_BYTES + (
             -(-head_bits // 8)
         )
+        registry = get_registry()
+        codec_name = type(codec).__name__
+        self._m_encode_seconds = registry.histogram(
+            "repro_encode_seconds", "wall time of one codec encode", ("codec",)
+        ).bind(codec=codec_name)
+        self._m_decode_seconds = registry.histogram(
+            "repro_decode_seconds", "wall time of one codec decode", ("codec",)
+        ).bind(codec=codec_name)
+        self._codec_label = codec_name
 
     def _trim_mask(
         self, num_packets: int, epoch: int, message_id: int, worker: int
@@ -122,6 +133,33 @@ class TrimChannel(GradientChannel):
         )
         self.stats.encode_seconds += t1 - t0
         self.stats.decode_seconds += t3 - t2
+        self._m_encode_seconds.observe(t1 - t0)
+        self._m_decode_seconds.observe(t3 - t2)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "encode",
+                duration_s=t1 - t0,
+                codec=self._codec_label,
+                coords=int(flat.size),
+                epoch=epoch,
+                message_id=message_id,
+                worker=worker,
+            )
+            from ..core.codec import nmse
+
+            tracer.event(
+                "decode",
+                duration_s=t3 - t2,
+                codec=self._codec_label,
+                coords=int(flat.size),
+                epoch=epoch,
+                message_id=message_id,
+                worker=worker,
+                packets_trimmed=trimmed_count,
+                packets_total=num_packets,
+                nmse=float(nmse(flat, decoded)),
+            )
         return decoded
 
 

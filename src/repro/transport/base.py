@@ -12,6 +12,8 @@ from typing import Callable, List, Optional
 from ..net.flow import FlowLog, FlowRecord
 from ..net.host import Host
 from ..net.simulator import Event
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..packet.packet import DEFAULT_MTU_BYTES, Packet
 from .congestion import CongestionControl, FixedWindow
 
@@ -107,6 +109,30 @@ class MessageSenderBase:
         self._timer: Optional[Event] = None
         self._on_complete: Optional[Callable[[], None]] = None
         self._done = False
+        self._message_start = 0.0
+        self._retransmissions = 0
+        transport = type(self).__name__
+        registry = get_registry()
+        self._m_messages = registry.counter(
+            "repro_transport_messages_total",
+            "messages fully delivered",
+            ("transport",),
+        ).bind(transport=transport)
+        self._m_packets_emitted = registry.counter(
+            "repro_transport_packets_emitted_total",
+            "data packets handed to the host (including retransmissions)",
+            ("transport",),
+        ).bind(transport=transport)
+        self._m_retx = registry.counter(
+            "repro_transport_retransmissions_total",
+            "packets re-sent after a loss signal or timeout",
+            ("transport",),
+        ).bind(transport=transport)
+        self._m_timeouts = registry.counter(
+            "repro_transport_timeouts_total",
+            "retransmission-timer expiries",
+            ("transport",),
+        ).bind(transport=transport)
         host.register_flow(flow_id, self._dispatch)
 
     # -- public API ----------------------------------------------------------
@@ -126,6 +152,8 @@ class MessageSenderBase:
         self._packets = packets
         self._on_complete = on_complete
         self._done = False
+        self._message_start = self.sim.now
+        self._retransmissions = 0
         self._reset_state()
         if self.log is not None:
             total = sum(p.wire_size for p in packets)
@@ -162,9 +190,13 @@ class MessageSenderBase:
     def _emit(self, seq: int, retransmission: bool = False) -> None:
         original = self._packets[seq]
         packet = original.clone() if retransmission else original
-        if retransmission and self.record is not None:
-            self.record.retransmissions += 1
+        if retransmission:
+            self._retransmissions += 1
+            self._m_retx.inc()
+            if self.record is not None:
+                self.record.retransmissions += 1
         self._send_times[seq] = self.sim.now
+        self._m_packets_emitted.inc()
         if self.record is not None:
             self.record.packets_sent += 1
         self.host.send(packet)
@@ -189,6 +221,7 @@ class MessageSenderBase:
             return
         self.rtt.backoff()
         self.cc.on_loss()
+        self._m_timeouts.inc()
         self._on_timeout()
 
     def _complete(self) -> None:
@@ -196,6 +229,20 @@ class MessageSenderBase:
             return
         self._done = True
         self._cancel_timer()
+        self._m_messages.inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "transport.deliver",
+                sim_time=self.sim.now,
+                transport=type(self).__name__,
+                flow_id=self.flow_id,
+                packets=len(self._packets),
+                retransmissions=self._retransmissions,
+                # Flow completion time is *simulated* seconds, so it lives
+                # in fields rather than duration_s (wall-clock spans).
+                fct_s=self.sim.now - self._message_start,
+            )
         if self.log is not None:
             self.log.close(self.flow_id, self.sim.now)
         if self._on_complete is not None:

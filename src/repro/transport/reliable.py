@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..net.host import Host
+from ..obs.metrics import get_registry
 from ..packet.packet import Packet
 from .base import MessageSenderBase
 
@@ -116,6 +117,17 @@ class GoBackNReceiver:
         self._peer: Optional[str] = None
         self.trimmed_rejected = 0
         self.out_of_order_discarded = 0
+        registry = get_registry()
+        self._m_trimmed_rejected = registry.counter(
+            "repro_transport_trimmed_rejected_total",
+            "trimmed packets the trim-oblivious baseline treated as losses",
+            ("transport",),
+        ).bind(transport=type(self).__name__)
+        self._m_ooo_discarded = registry.counter(
+            "repro_transport_out_of_order_discarded_total",
+            "out-of-order packets discarded by the in-order receiver",
+            ("transport",),
+        ).bind(transport=type(self).__name__)
         host.register_flow(flow_id, self._on_packet)
 
     @property
@@ -131,6 +143,7 @@ class GoBackNReceiver:
         if packet.is_trimmed:
             # The baseline cannot use a trimmed payload: count it as lost.
             self.trimmed_rejected += 1
+            self._m_trimmed_rejected.inc()
             self._send_cumulative_ack(ecn=packet.ecn)
             return
         if packet.seq == self._expected:
@@ -138,6 +151,7 @@ class GoBackNReceiver:
             self._expected += 1
         elif packet.seq > self._expected:
             self.out_of_order_discarded += 1
+            self._m_ooo_discarded.inc()
         # seq < expected: retransmitted duplicate of old data; just re-ACK.
         self._send_cumulative_ack(ecn=packet.ecn)
         if self.complete and self.on_message is not None:

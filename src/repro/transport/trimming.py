@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..net.host import Host
+from ..obs.metrics import get_registry
 from ..packet.packet import Packet
 from .base import MessageSenderBase
 
@@ -33,6 +34,11 @@ class TrimmingSender(MessageSenderBase):
         self._acked: set[int] = set()
         self._next = 0
         self.trims_reported = 0
+        self._m_trims_reported = get_registry().counter(
+            "repro_transport_trims_reported_total",
+            "trimmed-echo ACKs seen by the sender",
+            ("transport",),
+        ).bind(transport=type(self).__name__)
 
     def _reset_state(self) -> None:
         self._acked = set()
@@ -66,6 +72,7 @@ class TrimmingSender(MessageSenderBase):
         self._sample_rtt(seq)
         if packet.trimmed_echo:
             self.trims_reported += 1
+            self._m_trims_reported.inc()
             if self.record is not None:
                 self.record.packets_trimmed += 1
             self.cc.on_trim()
@@ -116,6 +123,17 @@ class TrimmingReceiver:
         self._peer: Optional[str] = None
         self.trimmed_accepted = 0
         self.nacks_sent = 0
+        registry = get_registry()
+        self._m_trimmed_accepted = registry.counter(
+            "repro_transport_trimmed_accepted_total",
+            "trimmed gradient packets accepted as deliveries",
+            ("transport",),
+        ).bind(transport=type(self).__name__)
+        self._m_nacks = registry.counter(
+            "repro_transport_nacks_total",
+            "NDP-style NACKs sent for unusable trimmed packets",
+            ("transport",),
+        ).bind(transport=type(self).__name__)
         host.register_flow(flow_id, self._on_packet)
 
     @property
@@ -137,9 +155,11 @@ class TrimmingReceiver:
             if not usable:
                 self._send_control(packet.seq, nack=True)
                 self.nacks_sent += 1
+                self._m_nacks.inc()
                 return
             if packet.seq not in self._received:
                 self.trimmed_accepted += 1
+                self._m_trimmed_accepted.inc()
                 self._received[packet.seq] = packet
             self._send_control(packet.seq, trimmed_echo=True, ecn=packet.ecn)
         else:

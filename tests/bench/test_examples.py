@@ -76,3 +76,12 @@ class TestExamplesRun:
         out = capsys.readouterr().out
         assert "heavy-tail index" in out
         assert "rht" in out
+
+    def test_observability_demo_reduced(self, capsys, monkeypatch):
+        module = load_example("observability_demo")
+        monkeypatch.setattr(module, "GRADIENT_COORDS", 50_000)
+        module.main()
+        out = capsys.readouterr().out
+        assert "trim fraction" in out
+        assert "-- metrics snapshot --" in out
+        assert "repro-report" in out

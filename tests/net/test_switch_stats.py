@@ -1,0 +1,40 @@
+"""SwitchStats derived rates: enqueues, trim_fraction, drop_fraction."""
+
+import pytest
+
+from repro.net import Switch, SwitchStats
+
+
+class TestFractions:
+    def test_zero_activity_is_zero_not_nan(self):
+        stats = SwitchStats()
+        assert stats.enqueues == 0
+        assert stats.trim_fraction == 0.0
+        assert stats.drop_fraction == 0.0
+
+    def test_fractions_over_all_egress_decisions(self):
+        stats = SwitchStats(forwarded=6, trimmed=3, dropped=1)
+        assert stats.enqueues == 10
+        assert stats.trim_fraction == pytest.approx(0.3)
+        assert stats.drop_fraction == pytest.approx(0.1)
+
+    def test_all_trimmed(self):
+        stats = SwitchStats(trimmed=5)
+        assert stats.trim_fraction == 1.0
+        assert stats.drop_fraction == 0.0
+
+    def test_note_drop_feeds_fraction_and_kind(self):
+        stats = SwitchStats(forwarded=3)
+        stats.note_drop("buffer-overflow")
+        stats.note_drop("buffer-overflow")
+        stats.note_drop("no-route")
+        assert stats.dropped == 3
+        assert stats.drop_fraction == pytest.approx(0.5)
+        assert stats.drops_by_kind == {"buffer-overflow": 2, "no-route": 1}
+
+    def test_live_switch_exposes_fractions(self):
+        from repro.net import Simulator
+
+        switch = Switch("sw", Simulator())
+        assert switch.stats.trim_fraction == 0.0
+        assert switch.stats.drop_fraction == 0.0

@@ -1,0 +1,130 @@
+"""Exporters: Prometheus text, JSONL IO, report rendering, report CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.export import build_report, prometheus_text, read_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import main as report_main
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("pkts_total", "packets seen", ("switch",)).inc(3, switch="s0")
+        registry.gauge("depth_bytes").set(120.5)
+        text = prometheus_text(registry)
+        assert "# HELP pkts_total packets seen" in text
+        assert "# TYPE pkts_total counter" in text
+        assert 'pkts_total{switch="s0"} 3' in text
+        assert "# TYPE depth_bytes gauge" in text
+        assert "depth_bytes 120.5" in text
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry(enabled=True)
+        h = registry.histogram("lat", "latency", start=1e-3, factor=10, num_buckets=3)
+        h.observe(5e-3)
+        h.observe(500.0)  # overflow
+        text = prometheus_text(registry)
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_count 2" in text
+        assert "lat_sum 500.005" in text
+        # Buckets are cumulative.
+        assert 'lat_bucket{le="0.01"} 1' in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry(enabled=True)) == ""
+
+
+def _events():
+    return [
+        {"name": "switch.forward", "seq": 1, "wall_time": 0.0, "sim_time": 0.0},
+        {"name": "switch.forward", "seq": 2, "wall_time": 0.0, "sim_time": 1e-6},
+        {
+            "name": "switch.trim",
+            "seq": 3,
+            "wall_time": 0.0,
+            "sim_time": 2e-6,
+            "fields": {"bytes_saved": 1400},
+        },
+        {
+            "name": "switch.drop",
+            "seq": 4,
+            "wall_time": 0.0,
+            "sim_time": 3e-6,
+            "fields": {"kind": "buffer-overflow"},
+        },
+        {
+            "name": "queue.sample",
+            "seq": 5,
+            "wall_time": 0.0,
+            "sim_time": 4e-6,
+            "fields": {"queue": "bottleneck", "bytes_queued": 30000},
+        },
+        {
+            "name": "transport.deliver",
+            "seq": 6,
+            "wall_time": 0.0,
+            "sim_time": 5e-6,
+            "fields": {"fct_s": 5e-6, "retransmissions": 2},
+        },
+        {
+            "name": "decode",
+            "seq": 7,
+            "wall_time": 0.0,
+            "duration_s": 0.01,
+            "fields": {"nmse": 0.05},
+        },
+    ]
+
+
+class TestBuildReport:
+    def test_sections_present(self):
+        report = build_report(_events(), title="unit")
+        assert "== unit ==" in report
+        assert "-- switch --" in report
+        assert "trim fraction 0.2500" in report  # 1 of 4 enqueues
+        assert "drop fraction 0.2500" in report
+        assert "1.40 kB" in report
+        assert "buffer-overflow: 1" in report
+        assert "-- queue depth (bytes) --" in report
+        assert "bottleneck" in report
+        assert "-- transport --" in report
+        assert "messages delivered: 1" in report
+        assert "retransmissions: 2" in report
+        assert "-- gradient quality --" in report
+        assert "0.05" in report
+        assert "-- per-stage wall time --" in report
+        assert "decode" in report
+
+    def test_empty_events(self):
+        report = build_report([])
+        assert "0 trace events" in report
+
+    def test_metrics_snapshot_section(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("c", labels=("l",)).inc(9, l="x")
+        report = build_report([], registry=registry)
+        assert "-- metrics snapshot --" in report
+        assert "l=x" in report
+
+
+class TestJsonlAndCli:
+    def test_read_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "a"}\n\n{"name": "b"}\n')
+        assert [e["name"] for e in read_jsonl(str(path))] == ["a", "b"]
+
+    def test_cli_renders_report(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as fh:
+            for ev in _events():
+                fh.write(json.dumps(ev) + "\n")
+        assert report_main([str(path), "--title", "cli run"]) == 0
+        out = capsys.readouterr().out
+        assert "== cli run ==" in out
+        assert "trim fraction" in out
+
+    def test_cli_missing_file(self, tmp_path):
+        assert report_main([str(tmp_path / "nope.jsonl")]) == 1
