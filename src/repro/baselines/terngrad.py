@@ -48,7 +48,7 @@ class TernGradCompressor:
         flat = np.asarray(flat, dtype=np.float64).reshape(-1)
         sigma = float(np.std(flat))
         scale = self.clip_multiplier * sigma
-        if scale == 0.0:
+        if scale <= 0.0:
             return TernGradEncoded(
                 codes=np.zeros(flat.size, dtype=np.int8), scale=0.0, length=flat.size
             )

@@ -282,7 +282,7 @@ def t1_transport_drops(scale: Optional[str] = None) -> ExperimentResult:
         sender.send_message(segment_bytes("tx0", "rx0", message_bytes, flow_id=1))
         net.sim.run(until=30.0)
         fct = log.max_fct()
-        if drop == 0.0:
+        if drop <= 0.0:
             base_fct = fct
         rows.append(
             [

@@ -1,7 +1,6 @@
 """The paper's contribution: trimmable gradient encodings and packet layout."""
 
 from .analysis import codec_error_profile, heavy_tail_index, per_parameter_scales
-from .eden import EdenCodec, lloyd_max_centroids
 from .codec import (
     EncodedGradient,
     GradientCodec,
@@ -14,6 +13,7 @@ from .codec import (
     nmse,
     register_codec,
 )
+from .eden import EdenCodec, lloyd_max_centroids
 from .layout import (
     TrimmableLayout,
     coords_per_packet,

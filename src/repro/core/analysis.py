@@ -13,10 +13,11 @@ Small analysis helpers used by the experiment write-ups:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Sequence
 
 import numpy as np
 
+from ..transforms.prng import shared_generator
 from .codec import available_codecs, codec_by_name, nmse
 
 __all__ = ["heavy_tail_index", "per_parameter_scales", "codec_error_profile"]
@@ -36,12 +37,18 @@ def heavy_tail_index(flat: np.ndarray) -> float:
     if flat.size == 0:
         raise ValueError("empty vector")
     mean_abs = float(np.mean(np.abs(flat)))
-    if mean_abs == 0.0:
+    if mean_abs <= 0.0:
         return float("inf") if np.std(flat) > 0 else 1.0
     return float(np.std(flat)) / mean_abs
 
 
-def per_parameter_scales(model) -> List[Dict[str, float]]:
+class SupportsParameters(Protocol):
+    """Anything exposing ``parameters()`` over grad-bearing tensors."""
+
+    def parameters(self) -> Iterable[Any]: ...
+
+
+def per_parameter_scales(model: SupportsParameters) -> List[Dict[str, object]]:
     """Gradient RMS per parameter tensor (after a backward pass).
 
     ``model`` is anything with a ``parameters()`` method returning
@@ -52,7 +59,7 @@ def per_parameter_scales(model) -> List[Dict[str, float]]:
     these values across a model is the mechanism behind the sign codec's
     global-σ damage; DDP bucketing (``bucket_coords``) localizes it.
     """
-    records = []
+    records: List[Dict[str, object]] = []
     for index, param in enumerate(model.parameters()):
         grad = param.grad if param.grad is not None else np.zeros_like(param.data)
         records.append(
@@ -90,7 +97,7 @@ def codec_error_profile(
     for name in names:
         codec = codec_by_name(name, root_seed=root_seed)
         enc = codec.encode(flat, epoch=0, message_id=1)
-        rng = np.random.default_rng(mask_seed)
+        rng = shared_generator(mask_seed, purpose="trim")
         profile[name] = {}
         for rate in trim_rates:
             if not 0.0 <= rate <= 1.0:

@@ -15,7 +15,7 @@ methodology) and real packet-level decode via the packetizer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Type
+from typing import Any, Callable, Dict, Optional, Type
 
 import numpy as np
 
@@ -170,14 +170,14 @@ def register_codec(cls: Type[GradientCodec]) -> Type[GradientCodec]:
     return cls
 
 
-def codec_by_name(name: str, **kwargs) -> GradientCodec:
+def codec_by_name(name: str, **kwargs: Any) -> GradientCodec:
     """Instantiate a registered codec by name (e.g. ``"rht"``)."""
     if name not in _BY_NAME:
         raise KeyError(f"unknown codec {name!r}; available: {available_codecs()}")
     return _BY_NAME[name](**kwargs)
 
 
-def codec_by_id(codec_id: int, **kwargs) -> GradientCodec:
+def codec_by_id(codec_id: int, **kwargs: Any) -> GradientCodec:
     """Instantiate a registered codec by wire id."""
     if codec_id not in _BY_ID:
         raise KeyError(f"unknown codec id {codec_id}")
@@ -216,7 +216,7 @@ def nmse(original: np.ndarray, decoded: np.ndarray) -> float:
     original = np.asarray(original, dtype=np.float64).reshape(-1)
     decoded = np.asarray(decoded, dtype=np.float64).reshape(-1)
     denom = float(np.dot(original, original))
-    if denom == 0.0:
+    if denom <= 0.0:
         return float(np.dot(decoded, decoded))
     diff = original - decoded
     return float(np.dot(diff, diff) / denom)

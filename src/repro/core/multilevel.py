@@ -82,7 +82,7 @@ class MultiLevelCodec:
     name = "multilevel"
     codec_id = MULTILEVEL_CODEC_ID
 
-    def __init__(self, root_seed: int = 0, row_size: int = DEFAULT_ROW_SIZE):
+    def __init__(self, root_seed: int = 0, row_size: int = DEFAULT_ROW_SIZE) -> None:
         self.root_seed = root_seed
         self.row_size = row_size
 

@@ -53,7 +53,7 @@ class ScalarCodec(GradientCodec):
     head_bits = 1
     tail_bits = 31
 
-    def __init__(self, root_seed: int = 0):
+    def __init__(self, root_seed: int = 0) -> None:
         self.root_seed = root_seed
 
     def _metadata(
@@ -153,7 +153,7 @@ class StochasticQuantizationCodec(ScalarCodec):
     name = "sq"
     codec_id = 2
 
-    def __init__(self, root_seed: int = 0, clip_multiplier: float = CLIP_SIGMA_MULTIPLIER):
+    def __init__(self, root_seed: int = 0, clip_multiplier: float = CLIP_SIGMA_MULTIPLIER) -> None:
         super().__init__(root_seed)
         self.clip_multiplier = clip_multiplier
 
@@ -210,7 +210,7 @@ class SubtractiveDitheringCodec(ScalarCodec):
     name = "sd"
     codec_id = 3
 
-    def __init__(self, root_seed: int = 0, clip_multiplier: float = CLIP_SIGMA_MULTIPLIER):
+    def __init__(self, root_seed: int = 0, clip_multiplier: float = CLIP_SIGMA_MULTIPLIER) -> None:
         super().__init__(root_seed)
         self.clip_multiplier = clip_multiplier
 

@@ -60,7 +60,7 @@ class RHTCodec(GradientCodec):
     head_bits = 1
     tail_bits = 31
 
-    def __init__(self, root_seed: int = 0, row_size: int = DEFAULT_ROW_SIZE):
+    def __init__(self, root_seed: int = 0, row_size: int = DEFAULT_ROW_SIZE) -> None:
         self.root_seed = root_seed
         self.row_size = row_size
 

@@ -8,8 +8,8 @@ from .queues import ByteQueue, PriorityQueue
 from .simulator import Event, Simulator
 from .switch import Switch, SwitchStats
 from .telemetry import QueueMonitor, QueueSample
-from .trace import PacketTracer, TraceEvent
 from .topology import GBPS, Network, dumbbell, fat_tree, leaf_spine
+from .trace import PacketTracer, TraceEvent
 
 __all__ = [
     "CROSS_TRAFFIC_FLOW_BASE",

@@ -121,7 +121,7 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
     """Inverted dropout: zero with probability ``p``, scale by 1/(1-p)."""
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-    if not training or p == 0.0:
+    if not training or p <= 0.0:
         return x
     mask = (rng.random(x.shape) >= p) / (1.0 - p)
     return x * Tensor(mask)

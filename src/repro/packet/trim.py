@@ -74,7 +74,7 @@ class MultiLevelTrim(TrimPolicy):
         level_bits: list[int],
         thresholds: list[float],
         plane_bits: tuple[int, ...] = (1, 7, 24),
-    ):
+    ) -> None:
         if len(level_bits) != len(thresholds):
             raise ValueError("level_bits and thresholds must have the same length")
         if sorted(thresholds) != list(thresholds):

@@ -1,7 +1,6 @@
 """Distributed training on top of the codecs, collectives, and cost model."""
 
 from .adaptive import AdaptiveQController, BudgetedLinkChannel
-from .network_channel import NetworkChannel
 from .ddp import (
     DDPTrainer,
     EpochRecord,
@@ -10,6 +9,7 @@ from .ddp import (
     shard_dataset,
 )
 from .fsdp import FSDPTrainer
+from .network_channel import NetworkChannel
 from .replay import TrimTranscript
 from .timing import RoundTime, RoundTimeModel, TimingConfig, measure_codec_throughput
 from .trim_channel import BaselineDropChannel, TrimChannel

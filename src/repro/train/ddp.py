@@ -22,14 +22,14 @@ from typing import List, Optional
 import numpy as np
 
 from ..collectives.hooks import AllReduceHook, CommHook
-from ..obs.metrics import get_registry
-from ..obs.trace import get_tracer
 from ..nn.data import DataLoader, SyntheticImages
 from ..nn.functional import cross_entropy
 from ..nn.layers import Module
 from ..nn.metrics import evaluate
 from ..nn.optim import SGD, StepLR
 from ..nn.tensor import Tensor
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .timing import RoundTime, RoundTimeModel
 
 __all__ = ["TrainConfig", "EpochRecord", "TrainingHistory", "DDPTrainer", "shard_dataset"]

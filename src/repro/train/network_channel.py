@@ -23,8 +23,8 @@ import numpy as np
 from ..collectives.channel import GradientChannel
 from ..core.codec import GradientCodec, nmse
 from ..core.packetizer import decode_packets, packetize
-from ..obs.trace import get_tracer
 from ..net.topology import Network
+from ..obs.trace import get_tracer
 from ..transport.congestion import CongestionControl, FixedWindow
 from ..transport.trimming import TrimmingReceiver, TrimmingSender
 

@@ -28,7 +28,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
+from ..transforms.prng import shared_generator
 
 __all__ = ["TimingConfig", "RoundTime", "RoundTimeModel", "measure_codec_throughput"]
 
@@ -102,7 +102,7 @@ def measure_codec_throughput(
     """
     from ..core.codec import codec_by_name
 
-    rng = np.random.default_rng(seed)
+    rng = shared_generator(seed, purpose="data")
     flat = rng.standard_normal(num_coords)
     results: Dict[str, float] = {}
     for name in codec_names:

@@ -1,0 +1,11 @@
+"""Fixture: registered codec missing decode() and its literal name."""
+
+from repro.core.codec import register_codec
+
+
+@register_codec
+class BrokenCodec:
+    codec_id = 99
+
+    def encode(self, flat, epoch, message_id):
+        return flat

@@ -1,0 +1,9 @@
+"""Fixture: exact float comparison in a numeric module."""
+
+
+def is_zero(scale: float) -> bool:
+    return scale == 0.0
+
+
+def nonzero(scale: float) -> bool:
+    return scale != -1.0

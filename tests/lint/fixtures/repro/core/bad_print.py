@@ -1,0 +1,5 @@
+"""Fixture: print() in library code."""
+
+
+def report(value):
+    print("value:", value)

@@ -1,0 +1,8 @@
+"""Fixture: ad-hoc randomness on the shared-randomness code path."""
+
+import numpy as np
+
+
+def noisy(x):
+    rng = np.random.default_rng()
+    return x + np.random.rand(4) + rng.standard_normal(4)

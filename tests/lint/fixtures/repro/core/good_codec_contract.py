@@ -1,0 +1,15 @@
+"""Fixture: registered codec satisfying the full contract."""
+
+from repro.core.codec import register_codec
+
+
+@register_codec
+class FineCodec:
+    name = "fine"
+    codec_id = 98
+
+    def encode(self, flat, epoch, message_id):
+        return flat
+
+    def decode(self, encoded):
+        return encoded

@@ -1,0 +1,11 @@
+"""Fixture: tolerance / ordering tests instead of exact float equality."""
+
+import numpy as np
+
+
+def is_zero(scale: float) -> bool:
+    return scale <= 0.0
+
+
+def close(a: float, b: float) -> bool:
+    return bool(np.isclose(a, b, atol=1e-12))

@@ -1,0 +1,7 @@
+"""Fixture: None defaults built inside the function body."""
+
+
+def collect(value, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(value)
+    return bucket

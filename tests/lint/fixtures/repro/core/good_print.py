@@ -1,0 +1,9 @@
+"""Fixture: library output through logging."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def report(value):
+    logger.info("value: %s", value)

@@ -1,0 +1,8 @@
+"""Fixture: randomness routed through the sanctioned prng streams."""
+
+from repro.transforms.prng import shared_generator
+
+
+def noisy(x, seed: int):
+    rng = shared_generator(seed, purpose="dither")
+    return x + rng.standard_normal(4)

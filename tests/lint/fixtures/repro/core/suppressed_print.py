@@ -1,0 +1,5 @@
+"""Fixture: a deliberate print() covered by a suppression comment."""
+
+
+def report(value):
+    print("value:", value)  # repro-lint: disable=print-call

@@ -1,0 +1,7 @@
+"""Fixture: wall-clock read inside sim-time code."""
+
+import time
+
+
+def timestamp():
+    return time.time()

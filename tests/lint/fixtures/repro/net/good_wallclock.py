@@ -1,0 +1,5 @@
+"""Fixture: sim-time derived from the event loop."""
+
+
+def timestamp(sim):
+    return sim.now

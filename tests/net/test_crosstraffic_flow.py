@@ -1,6 +1,5 @@
 """Tests for background traffic generators and flow logging."""
 
-import numpy as np
 import pytest
 
 from repro.net import FlowLog, IncastBurst, OnOffFlow, dumbbell

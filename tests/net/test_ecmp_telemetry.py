@@ -1,6 +1,5 @@
 """Tests for ECMP routing and the queue telemetry monitor."""
 
-import numpy as np
 import pytest
 
 from repro.net import QueueMonitor, Simulator, dumbbell, leaf_spine

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net import Network, Simulator, dumbbell, fat_tree, leaf_spine
+from repro.net import Network, dumbbell, fat_tree, leaf_spine
 from repro.packet import Packet
 
 

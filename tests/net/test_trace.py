@@ -1,7 +1,6 @@
 """Tests for the per-packet event tracer."""
 
 import numpy as np
-import pytest
 
 from repro.core import SignMagnitudeCodec, packetize
 from repro.net import PacketTracer, dumbbell

@@ -10,7 +10,6 @@ from repro.nn import (
     LogisticRegression,
     MLP,
     MaxPool2d,
-    Module,
     ReLU,
     Sequential,
     SmallConvNet,

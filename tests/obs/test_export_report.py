@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.obs.export import build_report, prometheus_text, read_jsonl
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import main as report_main

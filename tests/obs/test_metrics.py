@@ -3,9 +3,6 @@
 import pytest
 
 from repro.obs.metrics import (
-    Counter,
-    Gauge,
-    Histogram,
     MetricsRegistry,
     get_registry,
     set_registry,

@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.obs.trace import Tracer, get_tracer, set_tracer, trace_to
 
 

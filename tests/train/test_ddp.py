@@ -7,7 +7,6 @@ from repro.collectives import AllReduceHook
 from repro.core import codec_by_name
 from repro.nn import (
     SGD,
-    DataLoader,
     LogisticRegression,
     MLP,
     Tensor,

@@ -6,7 +6,7 @@ import pytest
 from repro.collectives import AllReduceHook
 from repro.core import RHTCodec, nmse
 from repro.net import IncastBurst, dumbbell
-from repro.nn import LogisticRegression, make_dataset
+from repro.nn import make_dataset
 from repro.packet import SingleLevelTrim
 from repro.train import DDPTrainer, NetworkChannel, TrainConfig
 

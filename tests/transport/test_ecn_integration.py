@@ -1,8 +1,5 @@
 """End-to-end ECN: marking switches + DCTCP senders keep queues short."""
 
-import numpy as np
-import pytest
-
 from repro.net import FlowLog, QueueMonitor, dumbbell
 from repro.transport import (
     AIMD,

@@ -7,13 +7,12 @@ destroys packets beyond its counted drops).
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import RHTCodec, decode_packets, nmse, packetize
 from repro.net import FlowLog, dumbbell
-from repro.packet import Packet, SingleLevelTrim
+from repro.packet import SingleLevelTrim
 from repro.transport import (
     AIMD,
     FixedWindow,
