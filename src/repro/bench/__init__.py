@@ -14,7 +14,14 @@ from .experiments import (
     training_dataset,
     trim_rates,
 )
-from .harness import ExperimentResult, ascii_chart, bench_scale, emit, format_table
+from .harness import (
+    ExperimentResult,
+    ascii_chart,
+    bench_scale,
+    emit,
+    format_table,
+    record_result,
+)
 
 __all__ = [
     "CODEC_NAMES",
@@ -34,4 +41,5 @@ __all__ = [
     "bench_scale",
     "emit",
     "format_table",
+    "record_result",
 ]

@@ -31,6 +31,9 @@ class ChannelStats:
     bytes_saved_by_trim: int = 0
     encode_seconds: float = 0.0
     decode_seconds: float = 0.0
+    # Rounds where the transport surrendered (or the whole message was
+    # lost) and the trainer took a degraded step instead of hanging.
+    rounds_surrendered: int = 0
 
     @property
     def trim_fraction(self) -> float:
@@ -49,6 +52,7 @@ class ChannelStats:
         self.bytes_saved_by_trim += other.bytes_saved_by_trim
         self.encode_seconds += other.encode_seconds
         self.decode_seconds += other.decode_seconds
+        self.rounds_surrendered += other.rounds_surrendered
 
     def as_dict(self) -> dict:
         return {
@@ -61,6 +65,7 @@ class ChannelStats:
             "bytes_saved_by_trim": self.bytes_saved_by_trim,
             "encode_seconds": self.encode_seconds,
             "decode_seconds": self.decode_seconds,
+            "rounds_surrendered": self.rounds_surrendered,
             "trim_fraction": self.trim_fraction,
         }
 

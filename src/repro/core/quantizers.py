@@ -201,10 +201,12 @@ class StochasticQuantizationCodec(ScalarCodec):
 class SubtractiveDitheringCodec(ScalarCodec):
     """Subtractive dithering with shared randomness.
 
-    Sender and receiver regenerate the same dither ``ε ~ U(-L/2, L/2)``
+    Sender and receiver regenerate the same dither ``ε ~ U(-L, L)``
     from the (epoch, message id)-derived stream, so only the 1-bit code
-    crosses the network.  SD's worst-case quantization error is smaller
-    than SQ's and independent of the input.
+    crosses the network.  With decode levels ``±L`` this dither width
+    makes the trimmed estimate ``L·sign(v+ε) − ε`` exactly unbiased for
+    every ``v`` in the clip range (``E = v``) with worst-case error
+    ``L`` — smaller than SQ's and independent of the input.
     """
 
     name = "sd"
@@ -215,8 +217,11 @@ class SubtractiveDitheringCodec(ScalarCodec):
         self.clip_multiplier = clip_multiplier
 
     def _dither(self, n: int, scale: float, epoch: int, message_id: int) -> np.ndarray:
+        # Full-width dither: levels are ±scale, so U(-scale, scale) is
+        # the unique width making E[scale·sign(v+ε) − ε] = v on the
+        # whole clip range (a half-width dither doubles small values).
         gen = shared_generator(self.root_seed, epoch, message_id, purpose="dither")
-        return gen.uniform(-scale / 2.0, scale / 2.0, size=n)
+        return gen.uniform(-scale, scale, size=n)
 
     def encode(
         self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0

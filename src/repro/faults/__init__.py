@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the simulated trim pipeline.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.scenarios` — declarative :class:`FaultSpec` /
+  :class:`Scenario` schedules plus six named presets;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which arms a
+  scenario against a built network through the ``Link.delivery_hook`` /
+  ``Link.up`` / ``Switch.set_port_down`` seams, drawing every decision
+  from :func:`repro.transforms.prng.shared_generator`;
+* :mod:`repro.faults.harness` — :func:`run_scenario`, the shared
+  entry point of the ``repro-faults`` CLI, the chaos CI matrix and the
+  transport-invariant test suite.
+
+Same scenario + same seed ⇒ byte-identical fault event logs.
+"""
+
+from .harness import TRANSPORTS, ScenarioRun, run_scenario
+from .injector import FaultInjector
+from .scenarios import (
+    FAULT_KINDS,
+    PRESETS,
+    FaultSpec,
+    Scenario,
+    available_scenarios,
+    scenario_by_name,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "PRESETS",
+    "FaultSpec",
+    "Scenario",
+    "available_scenarios",
+    "scenario_by_name",
+    "FaultInjector",
+    "TRANSPORTS",
+    "ScenarioRun",
+    "run_scenario",
+]

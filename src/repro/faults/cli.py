@@ -1,0 +1,140 @@
+"""``repro-faults``: run deterministic fault scenarios from the shell.
+
+Subcommands:
+
+* ``repro-faults list`` — the preset table with descriptions.
+* ``repro-faults run <scenario> --seed N [--transport T] [--out F]`` —
+  execute one preset (or a JSON scenario file) and write the fault/event
+  log as JSONL.  Two runs with the same arguments produce byte-identical
+  output files; the chaos CI job diffs exactly that.
+
+The JSONL stream is one fault event per line (sorted keys, simulation
+time only — never wall-clock time) followed by a single ``summary``
+record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..net import impairment_summary
+from .harness import TRANSPORTS, ScenarioRun, run_scenario
+from .scenarios import PRESETS, Scenario, scenario_by_name
+
+logger = logging.getLogger("repro.faults")
+
+__all__ = ["main", "render_jsonl"]
+
+
+def render_jsonl(run: ScenarioRun) -> List[str]:
+    """The deterministic JSONL lines for one run (no trailing newline)."""
+    lines = [
+        json.dumps({"kind": "fault", **event}, sort_keys=True)
+        for event in run.events
+    ]
+    summary = {
+        "kind": "summary",
+        **run.summary(),
+        "impairments": impairment_summary(run.network),
+    }
+    lines.append(json.dumps(summary, sort_keys=True))
+    return lines
+
+
+def _load_scenario(name: str) -> Scenario:
+    if name.endswith(".json"):
+        with open(name, "r", encoding="utf-8") as fh:
+            return Scenario.from_dict(json.load(fh))
+    return scenario_by_name(name)
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for name in sorted(PRESETS):
+        scenario = PRESETS[name]
+        kinds = ",".join(sorted({spec.fault for spec in scenario.faults}))
+        logger.info("%-24s [%s] %s", name, kinds, scenario.description)
+    return 0
+
+
+def _cmd_run(ns: argparse.Namespace) -> int:
+    scenario = _load_scenario(ns.scenario)
+    run = run_scenario(
+        scenario,
+        transport=ns.transport,
+        seed=ns.seed,
+        max_events=ns.max_events,
+    )
+    lines = render_jsonl(run)
+    if ns.out is not None:
+        Path(ns.out).write_text("\n".join(lines) + "\n", encoding="utf-8")
+        logger.info("wrote %d events to %s", len(lines) - 1, ns.out)
+    completed, total = len(run.completed_flows), len(run.flows)
+    logger.info(
+        "%s/%s seed=%d: %d/%d flows complete, %d surrendered, "
+        "%d faults injected, %d sim steps, t=%.6fs",
+        run.scenario,
+        run.transport,
+        run.seed,
+        completed,
+        total,
+        len(run.surrenders),
+        sum(run.fault_counts.values()),
+        run.steps,
+        run.sim_time,
+    )
+    # Success = every flow reached a terminal state (delivered or clean
+    # surrender); a flow stuck in limbo is exactly the livelock this
+    # subsystem exists to rule out.
+    stuck = total - completed - len(run.surrenders)
+    if stuck:
+        logger.error("%d flow(s) neither completed nor surrendered", stuck)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-faults",
+        description="deterministic fault injection for the trim-pipeline simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show the available presets")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one scenario and emit a JSONL log")
+    p_run.add_argument(
+        "scenario",
+        help="a preset name (see `repro-faults list`) or a path to a scenario .json",
+    )
+    p_run.add_argument("--seed", type=int, default=0, help="run seed (default 0)")
+    p_run.add_argument(
+        "--transport",
+        choices=TRANSPORTS,
+        default="trimming",
+        help="transport to drive the gradient traffic (default trimming)",
+    )
+    p_run.add_argument("--out", default=None, help="write the JSONL event log here")
+    p_run.add_argument(
+        "--max-events",
+        type=int,
+        default=2_000_000,
+        help="simulator safety valve (default 2e6 events)",
+    )
+    p_run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    logging.basicConfig(level=logging.INFO, format="%(message)s", stream=sys.stderr)
+    ns = build_parser().parse_args(argv)
+    return int(ns.func(ns))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,200 @@
+"""Run a fault scenario against a dumbbell topology end to end.
+
+:func:`run_scenario` is the single entry point the CLI, the chaos CI
+matrix and the invariant test suite all share: build the scenario's
+dumbbell, arm a :class:`~repro.faults.injector.FaultInjector`, push one
+RHT-encoded gradient message per sender/receiver pair through the
+chosen transport, and drain the event loop.  The returned
+:class:`ScenarioRun` exposes everything the callers assert on —
+delivery counts, surrender state, the deterministic fault event log,
+per-link impairment counters and the simulator step count (the
+no-livelock bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import RHTCodec, decode_packets, nmse, packetize
+from ..net import Network, dumbbell
+from ..packet.packet import Packet
+from ..transforms.prng import shared_generator
+from ..transport import (
+    AIMD,
+    FixedWindow,
+    GoBackNReceiver,
+    GoBackNSender,
+    PullReceiver,
+    PullSender,
+    TransportSurrender,
+    TrimmingReceiver,
+    TrimmingSender,
+)
+from .injector import FaultInjector
+from .scenarios import Scenario
+
+__all__ = ["TRANSPORTS", "ScenarioRun", "run_scenario"]
+
+#: Transport names accepted by :func:`run_scenario` and the CLI.
+TRANSPORTS = ("gbn", "pull", "trimming")
+
+#: Base flow id for scenario traffic (clear of the test/bench ranges).
+FLOW_BASE = 500
+
+
+@dataclass
+class ScenarioRun:
+    """Everything observable about one completed scenario run."""
+
+    scenario: str
+    transport: str
+    seed: int
+    events: List[Dict]
+    fault_counts: Dict[str, int]
+    deliveries: Dict[int, List[Packet]]
+    delivery_calls: Dict[int, int]
+    surrenders: Dict[int, str]
+    senders: Dict[int, object]
+    network: Network
+    injector: FaultInjector
+    sim_time: float
+    steps: int
+    decode_nmse: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def flows(self) -> List[int]:
+        return sorted(self.senders)
+
+    @property
+    def completed_flows(self) -> List[int]:
+        return sorted(flow for flow, s in self.senders.items() if s.done)
+
+    def summary(self) -> Dict:
+        """Deterministic, JSON-ready digest of the run."""
+        return {
+            "scenario": self.scenario,
+            "transport": self.transport,
+            "seed": self.seed,
+            "sim_time_s": self.sim_time,
+            "steps": self.steps,
+            "fault_counts": dict(sorted(self.fault_counts.items())),
+            "fault_events": len(self.events),
+            "flows": self.flows,
+            "completed_flows": self.completed_flows,
+            "surrendered_flows": sorted(self.surrenders),
+            "delivery_calls": {
+                str(flow): count for flow, count in sorted(self.delivery_calls.items())
+            },
+            "decode_nmse": {
+                str(flow): round(value, 12)
+                for flow, value in sorted(self.decode_nmse.items())
+            },
+        }
+
+
+def _make_transport(transport: str, net: Network, flow: int, pair: int):
+    """One sender/receiver pair on hosts ``tx<pair>``/``rx<pair>``."""
+    tx, rx = net.hosts[f"tx{pair}"], net.hosts[f"rx{pair}"]
+    if transport == "gbn":
+        sender = GoBackNSender(tx, flow_id=flow, cc=AIMD(initial_window=16))
+        receiver_cls = GoBackNReceiver
+    elif transport == "pull":
+        sender = PullSender(tx, flow_id=flow)
+        receiver_cls = PullReceiver
+    elif transport == "trimming":
+        sender = TrimmingSender(tx, flow_id=flow, cc=FixedWindow(initial_window=32))
+        receiver_cls = TrimmingReceiver
+    else:
+        raise ValueError(f"unknown transport {transport!r}; expected one of {TRANSPORTS}")
+    return sender, receiver_cls, rx
+
+
+def run_scenario(
+    scenario: Scenario,
+    transport: str = "trimming",
+    seed: int = 0,
+    max_events: int = 2_000_000,
+    max_retries: Optional[int] = None,
+) -> ScenarioRun:
+    """Execute ``scenario`` and return the full observable outcome.
+
+    Args:
+        scenario: the declarative fault schedule (see
+            :mod:`repro.faults.scenarios`).
+        transport: one of :data:`TRANSPORTS`.
+        seed: run seed; drives the fault draws *and* the gradient data,
+            so a ``(scenario, transport, seed)`` triple is fully
+            deterministic.
+        max_events: simulator safety valve — the no-livelock bound the
+            invariant suite asserts against.
+        max_retries: per-packet retry budget override (None keeps the
+            transport default).
+    """
+    net = dumbbell(
+        pairs=scenario.pairs,
+        edge_rate_bps=scenario.edge_rate_bps,
+        bottleneck_rate_bps=scenario.bottleneck_rate_bps,
+    )
+    injector = FaultInjector(net, scenario, root_seed=seed)
+    injector.install()
+
+    codec = RHTCodec(root_seed=seed)
+    originals: Dict[int, np.ndarray] = {}
+    deliveries: Dict[int, List[Packet]] = {}
+    delivery_calls: Dict[int, int] = {}
+    surrenders: Dict[int, str] = {}
+    senders: Dict[int, object] = {}
+
+    for pair in range(scenario.pairs):
+        flow = FLOW_BASE + pair
+        sender, receiver_cls, rx = _make_transport(transport, net, flow, pair)
+        if max_retries is not None:
+            sender.max_retries = max_retries
+        senders[flow] = sender
+
+        def on_message(packets: List[Packet], flow=flow) -> None:
+            delivery_calls[flow] = delivery_calls.get(flow, 0) + 1
+            deliveries.setdefault(flow, packets)
+
+        def on_failure(error: TransportSurrender, flow=flow) -> None:
+            surrenders[flow] = error.reason
+
+        receiver_cls(rx, flow_id=flow, on_message=on_message)
+        grad = shared_generator(
+            seed, epoch=0, message_id=flow, purpose="data"
+        ).standard_normal(scenario.coords).astype(np.float32)
+        originals[flow] = grad
+        packets = packetize(
+            codec.encode(grad, message_id=flow),
+            src=f"tx{pair}",
+            dst=f"rx{pair}",
+            flow_id=flow,
+        )
+        sender.send_message(packets, on_failure=on_failure)
+
+    net.sim.run(until=scenario.duration_s, max_events=max_events)
+
+    decode_err: Dict[int, float] = {}
+    for flow, packets in deliveries.items():
+        decoded = decode_packets(packets, codec=codec)
+        decode_err[flow] = float(nmse(originals[flow], decoded))
+
+    return ScenarioRun(
+        scenario=scenario.name,
+        transport=transport,
+        seed=seed,
+        events=injector.events,
+        fault_counts=injector.summary(),
+        deliveries=deliveries,
+        delivery_calls=delivery_calls,
+        surrenders=surrenders,
+        senders=senders,
+        network=net,
+        injector=injector,
+        sim_time=net.sim.now,
+        steps=net.sim.events_processed,
+        decode_nmse=decode_err,
+    )

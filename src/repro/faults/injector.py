@@ -1,0 +1,247 @@
+"""Deterministic fault injection over the simulated network.
+
+:class:`FaultInjector` takes a :class:`~repro.faults.scenarios.Scenario`
+and arms the network's existing seams:
+
+* per-packet faults (``corrupt``, ``ack-loss``, ``duplicate``,
+  ``reorder``) compose into one
+  :data:`~repro.net.link.DeliveryHook` per targeted link;
+* ``flap`` schedules ``Link.up`` transitions on the event loop;
+* ``blackout`` schedules :meth:`repro.net.switch.Switch.set_port_down`.
+
+Every random decision is drawn from a
+:func:`~repro.transforms.prng.shared_generator` stream keyed by
+``(root_seed, spec index, purpose="fault")``, so a run is a pure
+function of ``(scenario, seed)``: the injected fault sequence — and the
+JSONL event log it produces — is byte-identical across repeats.
+
+Corruption mutates a **copy** of the packet (``dataclasses.replace``).
+The sender still holds a reference to the original for retransmission;
+flipping bits in place would poison every future retransmit and turn a
+transient fault into a permanent one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..net.link import DeliveryHook
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+from ..packet.packet import Packet
+from ..transforms.prng import shared_generator
+from .scenarios import FaultSpec, Scenario
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Arms a scenario's fault specs against a built network.
+
+    Args:
+        network: a :class:`repro.net.topology.Network` (already wired).
+        scenario: the declarative schedule to install.
+        root_seed: the run seed; all fault draws derive from it.
+
+    Attributes:
+        events: append-only, JSON-ready fault log.  Every record carries
+            the simulation time (never wall-clock time) plus enough
+            identity (flow, seq) to line up with transport traces.
+        counts: per fault-kind totals, mirrored into the metrics
+            registry as ``repro_faults_injected_total``.
+    """
+
+    def __init__(self, network, scenario: Scenario, root_seed: int) -> None:
+        self.network = network
+        self.scenario = scenario
+        self.root_seed = root_seed
+        self.events: List[Dict] = []
+        self.counts: Dict[str, int] = {}
+        self._hooked_links: Dict[str, List] = {}
+        self._m_injected = get_registry().counter(
+            "repro_faults_injected_total",
+            "faults injected by kind and target",
+            ("fault", "target"),
+        )
+        self._installed = False
+
+    # -- public API -------------------------------------------------------------
+
+    def install(self) -> None:
+        """Arm every fault spec.  Idempotence guard: call once per run."""
+        if self._installed:
+            raise RuntimeError("injector already installed")
+        self._installed = True
+        for index, spec in enumerate(self.scenario.faults):
+            gen = shared_generator(
+                self.root_seed, epoch=0, message_id=index, purpose="fault"
+            )
+            if spec.fault == "flap":
+                self._install_flap(spec)
+            elif spec.fault == "blackout":
+                self._install_blackout(spec)
+            else:
+                self._install_per_packet(spec, gen)
+        for label, stages in self._hooked_links.items():
+            link = self._link(label)
+            link.delivery_hook = self._compose(stages)
+
+    # -- shared plumbing --------------------------------------------------------
+
+    def _link(self, label: str):
+        src, dst = label.split("->", 1)
+        link = self.network.link_between(src, dst)
+        if link is None:
+            raise ValueError(f"no link {label!r} in topology")
+        return link
+
+    def _record(self, fault: str, target: str, **detail) -> None:
+        self.counts[fault] = self.counts.get(fault, 0) + 1
+        self._m_injected.inc(fault=fault, target=target)
+        event = {"t": self.network.sim.now, "fault": fault, "target": target}
+        event.update(detail)
+        self.events.append(event)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("fault.inject", sim_time=self.network.sim.now, **{
+                "fault": fault, "target": target, **detail,
+            })
+
+    @staticmethod
+    def _compose(stages: List) -> DeliveryHook:
+        """Chain per-packet stages into one DeliveryHook.
+
+        Each stage maps one ``(extra_delay, packet)`` entry to a list of
+        them; the chain folds left so e.g. a duplicated packet can still
+        be independently corrupted.
+        """
+
+        def hook(packet: Packet) -> List[Tuple[float, Packet]]:
+            deliveries: List[Tuple[float, Packet]] = [(0.0, packet)]
+            for stage in stages:
+                nxt: List[Tuple[float, Packet]] = []
+                for entry in deliveries:
+                    nxt.extend(stage(entry))
+                deliveries = nxt
+            return deliveries
+
+        return hook
+
+    # -- per-packet faults ------------------------------------------------------
+
+    def _install_per_packet(self, spec: FaultSpec, gen: np.random.Generator) -> None:
+        sim = self.network.sim
+        target = spec.target
+
+        def stage(entry: Tuple[float, Packet]) -> List[Tuple[float, Packet]]:
+            delay, packet = entry
+            if not spec.active_at(sim.now):
+                return [entry]
+            if spec.fault == "ack-loss":
+                if not packet.is_ack or gen.random() >= spec.rate:
+                    return [entry]
+                self._record(
+                    "ack-loss", target, flow_id=packet.flow_id, seq=packet.seq
+                )
+                return []
+            if spec.fault == "corrupt":
+                # Control packets and empty payloads carry nothing to flip.
+                if packet.is_ack or not packet.payload:
+                    return [entry]
+                if gen.random() >= spec.rate:
+                    return [entry]
+                corrupted = self._flip_bits(packet, gen, spec.bit_flips)
+                self._record(
+                    "corrupt",
+                    target,
+                    flow_id=packet.flow_id,
+                    seq=packet.seq,
+                    bit_flips=spec.bit_flips,
+                )
+                return [(delay, corrupted)]
+            if spec.fault == "duplicate":
+                if gen.random() >= spec.rate:
+                    return [entry]
+                self._record(
+                    "duplicate", target, flow_id=packet.flow_id, seq=packet.seq,
+                    is_ack=packet.is_ack,
+                )
+                return [entry, (delay + max(spec.jitter_s, 1e-9), packet)]
+            # reorder: hold the packet back by a bounded, seeded jitter.
+            if packet.is_ack or gen.random() >= spec.rate:
+                return [entry]
+            extra = float(gen.uniform(0.0, spec.jitter_s))
+            self._record(
+                "reorder",
+                target,
+                flow_id=packet.flow_id,
+                seq=packet.seq,
+                extra_delay_s=extra,
+            )
+            return [(delay + extra, packet)]
+
+        self._hooked_links.setdefault(target, []).append(stage)
+
+    @staticmethod
+    def _flip_bits(packet: Packet, gen: np.random.Generator, bit_flips: int) -> Packet:
+        buf = bytearray(packet.payload)
+        positions = gen.integers(0, len(buf) * 8, size=bit_flips)
+        for pos in positions:
+            buf[int(pos) // 8] ^= 1 << (int(pos) % 8)
+        # The stale checksum travels with the mangled payload — that is
+        # exactly how the receiver detects the corruption.
+        return replace(packet, payload=bytes(buf))
+
+    # -- scheduled faults -------------------------------------------------------
+
+    def _install_flap(self, spec: FaultSpec) -> None:
+        link = self._link(spec.target)
+        sim = self.network.sim
+
+        def go_down() -> None:
+            if spec.stop_s is not None and sim.now >= spec.stop_s:
+                return
+            link.up = False
+            self._record("flap", spec.target, state="down")
+            sim.schedule(spec.down_s, go_up)
+
+        def go_up() -> None:
+            link.up = True
+            self._record("flap", spec.target, state="up")
+            if spec.period_s > 0.0:
+                sim.schedule(spec.period_s - spec.down_s, go_down)
+
+        sim.schedule(spec.start_s, go_down)
+
+    def _install_blackout(self, spec: FaultSpec) -> None:
+        switch_name, neighbor = spec.target.split(":", 1)
+        switch = self.network.switches.get(switch_name)
+        if switch is None:
+            raise ValueError(f"no switch {switch_name!r} in topology")
+        if neighbor not in switch.ports:
+            raise ValueError(f"{switch_name}: no port toward {neighbor!r}")
+        sim = self.network.sim
+
+        def go_dark() -> None:
+            switch.set_port_down(neighbor, True)
+            self._record("blackout", spec.target, state="down")
+            sim.schedule(spec.down_s, restore)
+
+        def restore() -> None:
+            switch.set_port_down(neighbor, False)
+            self._record("blackout", spec.target, state="up")
+            if spec.period_s > 0.0 and (
+                spec.stop_s is None or sim.now + spec.period_s - spec.down_s < spec.stop_s
+            ):
+                sim.schedule(spec.period_s - spec.down_s, go_dark)
+
+        sim.schedule(spec.start_s, go_dark)
+
+    # -- reporting --------------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Total injections per fault kind (sorted, JSON-ready)."""
+        return dict(sorted(self.counts.items()))

@@ -1,0 +1,227 @@
+"""Declarative fault scenarios: what breaks, where, when, how hard.
+
+A :class:`FaultSpec` is one scheduled fault stream — corruption on a
+link, ACK loss, duplication, reordering jitter, a link flap, a switch
+port blackout — and a :class:`Scenario` is a named bundle of specs plus
+the topology/workload shape to run them against.  Everything is plain
+data: scenarios serialize to/from dicts, so a JSON file is a valid
+scenario definition and the preset table below is just six of them.
+
+Determinism contract: a scenario carries **no randomness of its own**.
+All random draws happen inside :class:`repro.faults.FaultInjector`
+through :func:`repro.transforms.prng.shared_generator` keyed by the run
+seed and the spec's index, so one ``(scenario, seed)`` pair always
+produces the same fault stream — byte-identical event logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "Scenario",
+    "PRESETS",
+    "available_scenarios",
+    "scenario_by_name",
+]
+
+#: Fault kinds the injector knows how to apply.
+FAULT_KINDS = ("corrupt", "ack-loss", "duplicate", "reorder", "flap", "blackout")
+
+#: Kinds that draw a Bernoulli decision per packet (need ``rate``).
+_PER_PACKET = ("corrupt", "ack-loss", "duplicate", "reorder")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault stream against one target.
+
+    Attributes:
+        fault: one of :data:`FAULT_KINDS`.
+        target: a link label ``"src->dst"`` (per-packet kinds and
+            ``flap``) or ``"switch:neighbor"`` (``blackout``).
+        rate: per-packet probability for the per-packet kinds.
+        start_s: simulation time the fault becomes active.
+        stop_s: simulation time it stops (None = whole run).
+        period_s: flap cycle length (down + up); 0 = a single flap.
+        down_s: how long each flap/blackout keeps the target dark.
+        jitter_s: max extra delay for ``reorder``; the fixed extra delay
+            of a ``duplicate`` copy.
+        bit_flips: payload bits flipped per corrupted packet.
+    """
+
+    fault: str
+    target: str
+    rate: float = 0.0
+    start_s: float = 0.0
+    stop_s: Optional[float] = None
+    period_s: float = 0.0
+    down_s: float = 0.0
+    jitter_s: float = 0.0
+    bit_flips: int = 8
+
+    def __post_init__(self) -> None:
+        if self.fault not in FAULT_KINDS:
+            raise ValueError(f"unknown fault {self.fault!r}; expected one of {FAULT_KINDS}")
+        if self.fault in _PER_PACKET and not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"{self.fault} needs rate in (0, 1], got {self.rate}")
+        if self.fault in ("flap", "blackout") and self.down_s <= 0.0:
+            raise ValueError(f"{self.fault} needs down_s > 0, got {self.down_s}")
+        if 0.0 < self.period_s <= self.down_s:
+            raise ValueError(
+                f"period_s={self.period_s} must exceed down_s={self.down_s}"
+            )
+        if self.fault == "blackout" and ":" not in self.target:
+            raise ValueError(f"blackout target must be 'switch:neighbor', got {self.target!r}")
+        if self.fault != "blackout" and "->" not in self.target:
+            raise ValueError(f"{self.fault} target must be 'src->dst', got {self.target!r}")
+        if self.start_s < 0 or (self.stop_s is not None and self.stop_s <= self.start_s):
+            raise ValueError(f"bad fault window [{self.start_s}, {self.stop_s})")
+        if self.bit_flips < 1:
+            raise ValueError(f"bit_flips must be >= 1, got {self.bit_flips}")
+
+    def active_at(self, now: float) -> bool:
+        """Is this fault's window open at simulation time ``now``?"""
+        return now >= self.start_s and (self.stop_s is None or now < self.stop_s)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, fully declarative adversity schedule.
+
+    The topology is always a dumbbell (``tx*``/``rx*`` hosts around the
+    ``s0 -> s1`` bottleneck) — the canonical shared-queue shape every
+    preset stresses; ``pairs``/rates control congestion pressure and
+    ``coords`` sizes the gradient workload each pair transfers.
+    """
+
+    name: str
+    description: str
+    faults: Tuple[FaultSpec, ...]
+    duration_s: float = 0.2
+    pairs: int = 1
+    edge_rate_bps: float = 10e9
+    bottleneck_rate_bps: float = 10e9
+    coords: int = 20_000
+
+    def __post_init__(self) -> None:
+        if not self.faults:
+            raise ValueError("a scenario needs at least one fault")
+        if self.duration_s <= 0 or self.pairs < 1 or self.coords < 1:
+            raise ValueError("duration_s, pairs and coords must be positive")
+
+    def to_dict(self) -> Dict:
+        """Plain-data form (JSON-ready)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Scenario":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown scenario keys: {sorted(extra)}")
+        payload = dict(data)
+        payload["faults"] = tuple(
+            spec if isinstance(spec, FaultSpec) else FaultSpec(**spec)
+            for spec in payload.get("faults", ())
+        )
+        return cls(**payload)
+
+
+def _presets() -> Dict[str, Scenario]:
+    bottleneck = "s0->s1"
+    ack_path = "s1->s0"
+    return {
+        scenario.name: scenario
+        for scenario in (
+            Scenario(
+                name="flaky-link",
+                description=(
+                    "a marginal bottleneck cable: light payload corruption "
+                    "plus occasional duplication on s0->s1"
+                ),
+                faults=(
+                    FaultSpec("corrupt", bottleneck, rate=0.03),
+                    FaultSpec("duplicate", bottleneck, rate=0.02, jitter_s=2e-6),
+                ),
+            ),
+            Scenario(
+                name="incast-plus-corruption",
+                description=(
+                    "four senders share a half-rate bottleneck while the "
+                    "congested link also corrupts payloads"
+                ),
+                faults=(FaultSpec("corrupt", bottleneck, rate=0.02),),
+                pairs=4,
+                bottleneck_rate_bps=5e9,
+                coords=10_000,
+            ),
+            Scenario(
+                name="ack-storm-loss",
+                description=(
+                    "the reverse path misbehaves: heavy ACK loss plus "
+                    "duplicated control packets on s1->s0"
+                ),
+                faults=(
+                    FaultSpec("ack-loss", ack_path, rate=0.3),
+                    FaultSpec("duplicate", ack_path, rate=0.2, jitter_s=1e-6),
+                ),
+            ),
+            Scenario(
+                name="reorder-heavy",
+                description=(
+                    "a third of the data packets take a detour: bounded "
+                    "delay jitter reorders the bottleneck stream"
+                ),
+                faults=(FaultSpec("reorder", bottleneck, rate=0.3, jitter_s=30e-6),),
+            ),
+            Scenario(
+                name="flap-during-allreduce",
+                description=(
+                    "the bottleneck link flaps down 0.5 ms out of every "
+                    "2 ms while gradient messages are in flight"
+                ),
+                faults=(
+                    FaultSpec(
+                        "flap",
+                        bottleneck,
+                        start_s=0.2e-3,
+                        period_s=2e-3,
+                        down_s=0.5e-3,
+                        stop_s=20e-3,
+                    ),
+                ),
+            ),
+            Scenario(
+                name="blackout-recovery",
+                description=(
+                    "the egress port toward rx0 goes dark for 2 ms "
+                    "mid-transfer, then recovery must finish the message"
+                ),
+                faults=(FaultSpec("blackout", "s1:rx0", start_s=0.3e-3, down_s=2e-3),),
+            ),
+        )
+    }
+
+
+#: The six named adversity presets the chaos CI matrix runs.
+PRESETS: Dict[str, Scenario] = _presets()
+
+
+def available_scenarios() -> list:
+    """Names of the built-in presets."""
+    return sorted(PRESETS)
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Look up a preset; raises ``KeyError`` with the available names."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        ) from None

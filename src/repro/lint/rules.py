@@ -122,7 +122,7 @@ class BareRandomnessRule(Rule):
         "shared_generator(...)) so sender and receiver regenerate the "
         "same stream"
     )
-    scope = ("core/", "transforms/", "collectives/", "transport/", "train/")
+    scope = ("core/", "transforms/", "collectives/", "transport/", "train/", "faults/")
     exempt = ("transforms/prng.py",)
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
@@ -173,7 +173,7 @@ class WallClockInSimRule(Rule):
         "use Simulator.now / event timestamps; wall-clock spans belong in "
         "the repro.obs tracer's explicit capture points"
     )
-    scope = ("net/", "transport/")
+    scope = ("net/", "transport/", "faults/")
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         tracker = ImportTracker(module.tree)

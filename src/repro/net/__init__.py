@@ -3,11 +3,11 @@
 from .crosstraffic import CROSS_TRAFFIC_FLOW_BASE, IncastBurst, OnOffFlow
 from .flow import FlowLog, FlowRecord
 from .host import Host
-from .link import Device, Link
+from .link import Device, DeliveryHook, Link
 from .queues import ByteQueue, PriorityQueue
 from .simulator import Event, Simulator
 from .switch import Switch, SwitchStats
-from .telemetry import QueueMonitor, QueueSample
+from .telemetry import QueueMonitor, QueueSample, impairment_summary
 from .topology import GBPS, Network, dumbbell, fat_tree, leaf_spine
 from .trace import PacketTracer, TraceEvent
 
@@ -19,6 +19,7 @@ __all__ = [
     "FlowRecord",
     "Host",
     "Device",
+    "DeliveryHook",
     "Link",
     "ByteQueue",
     "PriorityQueue",
@@ -28,6 +29,7 @@ __all__ = [
     "SwitchStats",
     "QueueMonitor",
     "QueueSample",
+    "impairment_summary",
     "PacketTracer",
     "TraceEvent",
     "GBPS",

@@ -9,7 +9,7 @@ cables are simply two Links.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -19,7 +19,14 @@ from ..packet.packet import Packet
 from .queues import ByteQueue, PriorityQueue
 from .simulator import Simulator
 
-__all__ = ["Device", "Link"]
+__all__ = ["Device", "Link", "DeliveryHook"]
+
+#: Fault-injection seam: maps a packet about to cross the wire to the
+#: list of ``(extra_delay_s, packet)`` deliveries that actually happen.
+#: ``[(0.0, packet)]`` is a clean pass-through; ``[]`` drops it; two
+#: entries duplicate it; a positive delay jitters/reorders it; a mutated
+#: copy corrupts it.  Installed by :class:`repro.faults.FaultInjector`.
+DeliveryHook = Callable[["Packet"], List[Tuple[float, "Packet"]]]
 
 
 class Device:
@@ -81,6 +88,12 @@ class Link:
         self.trim_prob = trim_prob
         self._rng = np.random.default_rng(seed)
         self._busy = False
+        # Fault-injection state: a downed link (flap) loses everything it
+        # finishes serializing; the delivery hook lets an injector drop,
+        # corrupt, duplicate or delay individual packets deterministically.
+        self.up = True
+        self.delivery_hook: Optional[DeliveryHook] = None
+        self.packets_lost_down = 0
         # Telemetry: plain attributes stay the public API; the registry
         # carries the same counts under a per-link label.
         self.packets_sent = 0
@@ -148,6 +161,21 @@ class Link:
         self.bytes_sent += packet.wire_size
         self._m_packets.inc()
         self._m_bytes.inc(packet.wire_size)
+        if not self.up:
+            # The cable is flapped down: everything on the wire is lost,
+            # control packets included — a dead link spares nothing.
+            self.packets_lost_down += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "link.down_loss",
+                    sim_time=self.sim.now,
+                    link=self._label,
+                    flow_id=packet.flow_id,
+                    seq=packet.seq,
+                )
+            self._try_transmit()
+            return
         delivered: Optional[Packet] = packet
         if not packet.is_ack:
             if self.drop_prob > 0.0 and self._rng.random() < self.drop_prob:
@@ -181,8 +209,14 @@ class Link:
                         seq=packet.seq,
                     )
         if delivered is not None:
-            final = delivered
-            self.sim.schedule(self.delay_s, lambda: self.dst.receive(final, self))
+            deliveries: List[Tuple[float, Packet]] = [(0.0, delivered)]
+            if self.delivery_hook is not None:
+                deliveries = self.delivery_hook(delivered)
+            for extra_delay, final in deliveries:
+                self.sim.schedule(
+                    self.delay_s + extra_delay,
+                    lambda p=final: self.dst.receive(p, self),
+                )
         self._try_transmit()
 
     def utilization(self, elapsed: float) -> float:

@@ -90,6 +90,10 @@ class Switch(Device):
         self.ecn_threshold_bytes = ecn_threshold_bytes
         self.trim_policy = trim_policy or NeverTrim()
         self.ports: Dict[str, Link] = {}
+        # Ports currently blacked out by fault injection: packets routed
+        # toward them are dropped (kind "port-blackout") until the port
+        # comes back, modelling a dead transceiver / unplugged cable.
+        self.ports_down: set = set()
         # dst host -> equal-cost next hops; flows are hashed across them
         # (ECMP).  A single-element list is plain shortest-path routing.
         self.routes: Dict[str, list] = {}
@@ -140,6 +144,15 @@ class Switch(Device):
             raise ValueError("next_hop list is empty")
         self.routes[dst_host] = hops
 
+    def set_port_down(self, neighbor: str, down: bool = True) -> None:
+        """Black out (or restore) the egress port toward ``neighbor``."""
+        if neighbor not in self.ports:
+            raise ValueError(f"{self.name}: no port toward {neighbor}")
+        if down:
+            self.ports_down.add(neighbor)
+        else:
+            self.ports_down.discard(neighbor)
+
     def _pick_next_hop(self, packet: Packet) -> Optional[str]:
         hops = self.routes.get(packet.dst)
         if not hops:
@@ -157,6 +170,9 @@ class Switch(Device):
         next_hop = self._pick_next_hop(packet)
         if next_hop is None:
             self._drop(packet, "no-route")
+            return
+        if next_hop in self.ports_down:
+            self._drop(packet, "port-blackout")
             return
         self.forward(packet, self.ports[next_hop])
 

@@ -19,7 +19,35 @@ from ..obs.trace import get_tracer
 from .link import Link
 from .simulator import Simulator
 
-__all__ = ["QueueSample", "QueueMonitor"]
+__all__ = ["QueueSample", "QueueMonitor", "impairment_summary"]
+
+
+def impairment_summary(network) -> Dict[str, Dict[str, int]]:
+    """Per-link impairment counters for every link in ``network``.
+
+    Walks host uplinks and switch ports and reports, per ``src->dst``
+    label, the packets sent, probabilistically dropped/trimmed, and lost
+    to fault-injected link flaps, plus whether the link is currently up.
+    The faults CLI folds this into its run summary; tests use it to
+    assert where a scenario actually bit.
+    """
+    links: Dict[str, Link] = {}
+    for host in network.hosts.values():
+        if host.uplink is not None:
+            links[f"{host.name}->{host.uplink.dst.name}"] = host.uplink
+    for switch in network.switches.values():
+        for neighbor, link in switch.ports.items():
+            links[f"{switch.name}->{neighbor}"] = link
+    return {
+        label: {
+            "packets_sent": link.packets_sent,
+            "packets_dropped": link.packets_dropped,
+            "packets_trimmed": link.packets_trimmed,
+            "packets_lost_down": link.packets_lost_down,
+            "up": int(link.up),
+        }
+        for label, link in sorted(links.items())
+    }
 
 
 @dataclass

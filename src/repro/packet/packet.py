@@ -11,6 +11,7 @@ dropping.
 from __future__ import annotations
 
 import itertools
+import zlib
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -53,6 +54,10 @@ class Packet:
         created_at: simulator time the packet entered the network.
         packet_id: unique id (for traces and trim transcripts).
         trimmed_from: original wire size if this packet was trimmed.
+        checksum: CRC32 of ``payload`` at :meth:`seal` time, or None when
+            the sender did not seal the packet.  Receivers call
+            :meth:`verify` to detect in-flight payload corruption; an
+            unsealed packet always verifies (no checksum, no detection).
     """
 
     src: str
@@ -71,6 +76,7 @@ class Packet:
     created_at: float = 0.0
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     trimmed_from: Optional[int] = None
+    checksum: Optional[int] = None
 
     @property
     def wire_size(self) -> int:
@@ -103,8 +109,24 @@ class Packet:
             return None  # nothing to cut
         return keep
 
+    def seal(self) -> "Packet":
+        """Stamp ``checksum`` with the CRC32 of the current payload.
+
+        Returns self so senders can seal in-line while framing.
+        """
+        self.checksum = zlib.crc32(self.payload)
+        return self
+
+    def verify(self) -> bool:
+        """True when the payload matches its checksum (or was never sealed)."""
+        return self.checksum is None or zlib.crc32(self.payload) == self.checksum
+
     def trim(self) -> "Packet":
         """Return the trimmed twin of this packet (original is untouched).
+
+        A sealed packet is re-sealed over the remnant payload — trimming
+        switches recompute the frame check sequence, exactly as real
+        store-and-forward ASICs do when they rewrite a frame.
 
         Raises ``ValueError`` when the packet is not trimmable.
         """
@@ -120,6 +142,7 @@ class Packet:
             grad_header=new_header,
             priority=max(self.priority, 1),
             trimmed_from=self.wire_size,
+            checksum=zlib.crc32(new_payload) if self.checksum is not None else None,
         )
 
     def clone(self) -> "Packet":

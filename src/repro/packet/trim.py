@@ -149,10 +149,15 @@ def trim_to_bits(
         flags=hdr.flags | FLAG_TRIMMED,
     )
     new_payload = new_header.to_bytes() + packet.payload[GRADIENT_HEADER_BYTES:keep_payload]
+    # Re-seal over the remnant payload, as Packet.trim does — a stale
+    # checksum would make receivers mistake the trim for corruption.
+    import zlib
+
     return _replace(
         packet,
         payload=new_payload,
         grad_header=new_header,
         priority=max(packet.priority, 1),
         trimmed_from=packet.wire_size,
+        checksum=zlib.crc32(new_payload) if packet.checksum is not None else None,
     )

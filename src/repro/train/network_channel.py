@@ -25,6 +25,7 @@ from ..core.codec import GradientCodec, nmse
 from ..core.packetizer import decode_packets, packetize
 from ..net.topology import Network
 from ..obs.trace import get_tracer
+from ..transport.base import TransportSurrender
 from ..transport.congestion import CongestionControl, FixedWindow
 from ..transport.trimming import TrimmingReceiver, TrimmingSender
 
@@ -46,6 +47,13 @@ class NetworkChannel(GradientChannel):
         deadline_s: simulation-time budget per transfer; an incomplete
             transfer raises (a lost metadata packet would otherwise hang
             training silently).
+        degraded_step: when True, a transport surrender or missed
+            deadline yields a zero gradient (and bumps
+            ``stats.rounds_surrendered``) instead of raising — the
+            training loop skips the round and keeps going, the behaviour
+            a production job wants under a transient network fault.
+        max_retries: per-packet retry budget forwarded to the sender
+            (None keeps the transport default).
     """
 
     def __init__(
@@ -57,6 +65,8 @@ class NetworkChannel(GradientChannel):
         make_cc: Optional[Callable[[], CongestionControl]] = None,
         mtu: int = 1500,
         deadline_s: float = 30.0,
+        degraded_step: bool = False,
+        max_retries: Optional[int] = None,
     ) -> None:
         super().__init__()
         self.network_factory = network_factory
@@ -66,8 +76,26 @@ class NetworkChannel(GradientChannel):
         self.make_cc = make_cc or (lambda: FixedWindow(initial_window=128))
         self.mtu = mtu
         self.deadline_s = deadline_s
+        self.degraded_step = degraded_step
+        self.max_retries = max_retries
         self.fcts: List[float] = []
         self.last_trim_fraction = 0.0
+
+    def _degrade(
+        self, flat: np.ndarray, reason: str, epoch: int, message_id: int, worker: int
+    ) -> np.ndarray:
+        """Zero-gradient fallback for a round the transport gave up on."""
+        self.stats.rounds_surrendered += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "channel.degraded_step",
+                epoch=epoch,
+                message_id=message_id,
+                worker=worker,
+                reason=reason,
+            )
+        return np.zeros_like(flat)
 
     def transfer(
         self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0, worker: int = 0
@@ -90,16 +118,29 @@ class NetworkChannel(GradientChannel):
         )
 
         delivered: List[List] = []
+        surrendered: List[TransportSurrender] = []
         sender = TrimmingSender(
             net.hosts[self.src], flow_id=flow_id, cc=self.make_cc()
         )
+        if self.max_retries is not None:
+            sender.max_retries = self.max_retries
         TrimmingReceiver(
             net.hosts[self.dst], flow_id=flow_id, on_message=delivered.append
         )
         start = net.sim.now
-        sender.send_message(packets)
+        sender.send_message(packets, on_failure=surrendered.append)
         net.sim.run(until=start + self.deadline_s)
         if not delivered:
+            self.stats.messages += 1
+            self.stats.coordinates += flat.size
+            if surrendered:
+                if self.degraded_step:
+                    return self._degrade(
+                        flat, surrendered[0].reason, epoch, message_id, worker
+                    )
+                raise surrendered[0]
+            if self.degraded_step:
+                return self._degrade(flat, "deadline", epoch, message_id, worker)
             raise RuntimeError(
                 f"gradient transfer (epoch {epoch}, message {message_id}, "
                 f"worker {worker}) missed its {self.deadline_s}s deadline"

@@ -39,6 +39,11 @@ class TrimChannel(GradientChannel):
     Args:
         codec: any registered :class:`GradientCodec` (sign/sq/sd/rht).
         trim_rate: probability each data packet is trimmed to its heads.
+        drop_rate: probability each data packet is *lost outright* —
+            its coordinates arrive as missing, the fault-injection
+            analogue of an unrecovered corruption.  A message that loses
+            every packet surrenders the round: the channel returns a
+            zero gradient and counts ``stats.rounds_surrendered``.
         mtu: packet size used to derive coordinates-per-packet.
         seed: trim-pattern seed (independent of the codec's seed).
         record: transcript to append trim decisions to (Section 5.4).
@@ -50,6 +55,7 @@ class TrimChannel(GradientChannel):
         self,
         codec: GradientCodec,
         trim_rate: float,
+        drop_rate: float = 0.0,
         mtu: int = 1500,
         seed: int = 0,
         record: Optional[TrimTranscript] = None,
@@ -58,10 +64,13 @@ class TrimChannel(GradientChannel):
         super().__init__()
         if not 0.0 <= trim_rate <= 1.0:
             raise ValueError(f"trim_rate must be in [0, 1], got {trim_rate}")
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1], got {drop_rate}")
         if record is not None and replay is not None:
             raise ValueError("cannot record and replay the same run")
         self.codec = codec
         self.trim_rate = trim_rate
+        self.drop_rate = drop_rate
         self.mtu = mtu
         self.seed = seed
         self.record = record
@@ -113,10 +122,45 @@ class TrimChannel(GradientChannel):
 
         num_packets = -(-enc.length // self.coords_per_pkt)
         packet_mask = self._trim_mask(num_packets, epoch, message_id, worker)
+        drop_mask = np.zeros(num_packets, dtype=bool)
+        if self.drop_rate > 0.0:
+            # An independent stream (purpose="fault") so adding drops
+            # never perturbs an existing trim pattern or a replay.
+            drop_gen = shared_generator(
+                self.seed * 1_000_003 + worker, epoch, message_id, purpose="fault"
+            )
+            drop_mask = drop_gen.random(num_packets) < self.drop_rate
+            packet_mask = packet_mask & ~drop_mask
         coord_mask = np.repeat(packet_mask, self.coords_per_pkt)[: enc.length]
+        missing_mask = np.repeat(drop_mask, self.coords_per_pkt)[: enc.length]
+        dropped_count = int(drop_mask.sum())
+
+        if dropped_count == num_packets:
+            # Nothing survived the wire: surrender the round with a zero
+            # gradient instead of decoding garbage or hanging.
+            self.stats.messages += 1
+            self.stats.coordinates += flat.size
+            self.stats.packets_total += num_packets
+            self.stats.packets_dropped += dropped_count
+            self.stats.bytes_sent += num_packets * self._full_packet_bytes
+            self.stats.rounds_surrendered += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "channel.degraded_step",
+                    epoch=epoch,
+                    message_id=message_id,
+                    worker=worker,
+                    reason="all packets dropped",
+                )
+            return np.zeros_like(flat)
 
         t2 = time.perf_counter()
-        decoded = self.codec.decode(enc, trimmed=coord_mask)
+        decoded = self.codec.decode(
+            enc,
+            trimmed=coord_mask,
+            missing=missing_mask if dropped_count else None,
+        )
         t3 = time.perf_counter()
 
         trimmed_count = int(packet_mask.sum())
@@ -124,9 +168,12 @@ class TrimChannel(GradientChannel):
         self.stats.coordinates += flat.size
         self.stats.packets_total += num_packets
         self.stats.packets_trimmed += trimmed_count
+        self.stats.packets_dropped += dropped_count
+        # Dropped packets were transmitted at full size before they died.
         self.stats.bytes_sent += (
-            (num_packets - trimmed_count) * self._full_packet_bytes
+            (num_packets - trimmed_count - dropped_count) * self._full_packet_bytes
             + trimmed_count * self._trimmed_packet_bytes
+            + dropped_count * self._full_packet_bytes
         )
         self.stats.bytes_saved_by_trim += trimmed_count * (
             self._full_packet_bytes - self._trimmed_packet_bytes

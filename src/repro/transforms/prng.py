@@ -30,6 +30,7 @@ _PURPOSES = {
     "data": 5,
     "init": 6,
     "crosstraffic": 7,
+    "fault": 8,
 }
 
 

@@ -1,6 +1,6 @@
 """Transport substrate: congestion control, reliable and trimming stacks."""
 
-from .base import MessageSenderBase, RttEstimator, segment_bytes
+from .base import MessageSenderBase, RttEstimator, TransportSurrender, segment_bytes
 from .congestion import AIMD, DCTCP, CongestionControl, FixedWindow
 from .pull import PullReceiver, PullSender
 from .reliable import GoBackNReceiver, GoBackNSender
@@ -9,6 +9,7 @@ from .trimming import TrimmingReceiver, TrimmingSender
 __all__ = [
     "MessageSenderBase",
     "RttEstimator",
+    "TransportSurrender",
     "segment_bytes",
     "AIMD",
     "DCTCP",

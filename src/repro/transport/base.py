@@ -17,7 +17,23 @@ from ..obs.trace import get_tracer
 from ..packet.packet import DEFAULT_MTU_BYTES, Packet
 from .congestion import CongestionControl, FixedWindow
 
-__all__ = ["segment_bytes", "RttEstimator", "MessageSenderBase"]
+__all__ = ["segment_bytes", "RttEstimator", "MessageSenderBase", "TransportSurrender"]
+
+
+class TransportSurrender(RuntimeError):
+    """A sender gave up on a message after exhausting its retry budget.
+
+    Raised only when the caller asks for it (``send_message`` without an
+    ``on_failure`` callback keeps the legacy silent-retry-forever
+    behaviour unless ``max_retries`` is set); otherwise surfaced through
+    the callback so the train loop can take a degraded step instead of
+    deadlocking the round.
+    """
+
+    def __init__(self, flow_id: int, reason: str) -> None:
+        super().__init__(f"flow {flow_id}: {reason}")
+        self.flow_id = flow_id
+        self.reason = reason
 
 
 def segment_bytes(
@@ -96,6 +112,7 @@ class MessageSenderBase:
         rto_min: float = 100e-6,
         rto_max: float = 100e-3,
         log: Optional[FlowLog] = None,
+        max_retries: int = 200,
     ) -> None:
         self.host = host
         self.sim = host.sim
@@ -104,11 +121,21 @@ class MessageSenderBase:
         self.rtt = RttEstimator(rto_min=rto_min, rto_max=rto_max)
         self.log = log
         self.record: Optional[FlowRecord] = None
+        # Retry budget *per packet*: a sequence number re-sent more than
+        # this many times means the path is not recovering (ACK blackout,
+        # persistent corruption, a dead link) and the sender surrenders
+        # with a clean error instead of livelocking the round.
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {max_retries}")
+        self.max_retries = max_retries
         self._packets: List[Packet] = []
         self._send_times: dict[int, float] = {}
+        self._retries_by_seq: dict[int, int] = {}
         self._timer: Optional[Event] = None
         self._on_complete: Optional[Callable[[], None]] = None
+        self._on_failure: Optional[Callable[[TransportSurrender], None]] = None
         self._done = False
+        self._failed: Optional[TransportSurrender] = None
         self._message_start = 0.0
         self._retransmissions = 0
         transport = type(self).__name__
@@ -133,15 +160,28 @@ class MessageSenderBase:
             "retransmission-timer expiries",
             ("transport",),
         ).bind(transport=transport)
+        self._m_surrenders = registry.counter(
+            "repro_transport_surrenders_total",
+            "messages abandoned after exhausting the per-packet retry budget",
+            ("transport",),
+        ).bind(transport=transport)
         host.register_flow(flow_id, self._dispatch)
 
     # -- public API ----------------------------------------------------------
 
     def send_message(
-        self, packets: List[Packet], on_complete: Optional[Callable[[], None]] = None
+        self,
+        packets: List[Packet],
+        on_complete: Optional[Callable[[], None]] = None,
+        on_failure: Optional[Callable[["TransportSurrender"], None]] = None,
     ) -> None:
-        """Transmit a framed message; ``on_complete`` fires when delivered."""
-        if self._packets and not self._done:
+        """Transmit a framed message; ``on_complete`` fires when delivered.
+
+        ``on_failure`` fires (at most once) if the sender surrenders after
+        a packet exhausts its ``max_retries`` budget — the clean error the
+        train loop uses to take a degraded step instead of hanging.
+        """
+        if self._packets and not self._done and self._failed is None:
             raise RuntimeError(f"flow {self.flow_id}: message already in flight")
         if not packets:
             raise ValueError("cannot send an empty message")
@@ -149,11 +189,16 @@ class MessageSenderBase:
             pkt.seq = i
             pkt.seq_total = len(packets)
             pkt.flow_id = self.flow_id
+            if pkt.checksum is None:
+                pkt.seal()
         self._packets = packets
         self._on_complete = on_complete
+        self._on_failure = on_failure
         self._done = False
+        self._failed = None
         self._message_start = self.sim.now
         self._retransmissions = 0
+        self._retries_by_seq.clear()
         self._reset_state()
         if self.log is not None:
             total = sum(p.wire_size for p in packets)
@@ -166,6 +211,16 @@ class MessageSenderBase:
     def done(self) -> bool:
         """True once every packet has been acknowledged."""
         return self._done
+
+    @property
+    def failed(self) -> bool:
+        """True once the sender has surrendered this message."""
+        return self._failed is not None
+
+    @property
+    def failure(self) -> Optional["TransportSurrender"]:
+        """The surrender error, if the sender gave up."""
+        return self._failed
 
     # -- subclass hooks ---------------------------------------------------------
 
@@ -184,13 +239,22 @@ class MessageSenderBase:
     # -- shared machinery ---------------------------------------------------------
 
     def _dispatch(self, packet: Packet) -> None:
-        if packet.is_ack and not self._done:
+        if packet.is_ack and not self._done and self._failed is None:
             self._handle_control(packet)
 
     def _emit(self, seq: int, retransmission: bool = False) -> None:
+        if self._failed is not None:
+            return
         original = self._packets[seq]
         packet = original.clone() if retransmission else original
         if retransmission:
+            retries = self._retries_by_seq.get(seq, 0) + 1
+            self._retries_by_seq[seq] = retries
+            if retries > self.max_retries:
+                self._surrender(
+                    f"packet seq={seq} exceeded max_retries={self.max_retries}"
+                )
+                return
             self._retransmissions += 1
             self._m_retx.inc()
             if self.record is not None:
@@ -217,15 +281,38 @@ class MessageSenderBase:
 
     def _timer_fired(self) -> None:
         self._timer = None
-        if self._done:
+        if self._done or self._failed is not None:
             return
         self.rtt.backoff()
         self.cc.on_loss()
         self._m_timeouts.inc()
         self._on_timeout()
 
+    def _surrender(self, reason: str) -> None:
+        """Give up on the in-flight message with a clean, observable error."""
+        if self._done or self._failed is not None:
+            return
+        error = TransportSurrender(self.flow_id, reason)
+        self._failed = error
+        self._cancel_timer()
+        self._m_surrenders.inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "transport.surrender",
+                sim_time=self.sim.now,
+                transport=type(self).__name__,
+                flow_id=self.flow_id,
+                reason=reason,
+                retransmissions=self._retransmissions,
+            )
+        # The FlowLog record stays open: a surrendered flow never
+        # completed, so it must not contribute a bogus FCT sample.
+        if self._on_failure is not None:
+            self._on_failure(error)
+
     def _complete(self) -> None:
-        if self._done:
+        if self._done or self._failed is not None:
             return
         self._done = True
         self._cancel_timer()

@@ -133,6 +133,7 @@ class PullReceiver:
         self.trimmed_accepted = 0
         self.nacks_sent = 0
         self.pulls_sent = 0
+        self.corrupt_rejected = 0
         host.register_flow(flow_id, self._on_packet)
 
     @property
@@ -159,7 +160,13 @@ class PullReceiver:
             priority=2,
             ecn=packet.ecn,
         )
-        if packet.is_trimmed:
+        if not packet.verify():
+            # Corrupted in flight: the NACK doubles as the credit that
+            # pays for the retransmission (NDP-style re-request).
+            self.corrupt_rejected += 1
+            control.nack = True
+            self.nacks_sent += 1
+        elif packet.is_trimmed:
             usable = self.accept_trimmed and packet.is_gradient
             if usable:
                 if packet.seq not in self._received:

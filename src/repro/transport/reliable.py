@@ -117,10 +117,16 @@ class GoBackNReceiver:
         self._peer: Optional[str] = None
         self.trimmed_rejected = 0
         self.out_of_order_discarded = 0
+        self.corrupt_rejected = 0
         registry = get_registry()
         self._m_trimmed_rejected = registry.counter(
             "repro_transport_trimmed_rejected_total",
             "trimmed packets the trim-oblivious baseline treated as losses",
+            ("transport",),
+        ).bind(transport=type(self).__name__)
+        self._m_corrupt_rejected = registry.counter(
+            "repro_transport_corrupt_rejected_total",
+            "packets failing checksum verification, treated as losses",
             ("transport",),
         ).bind(transport=type(self).__name__)
         self._m_ooo_discarded = registry.counter(
@@ -140,6 +146,14 @@ class GoBackNReceiver:
             return
         self._peer = packet.src
         self._total = packet.seq_total or self._total
+        if not packet.verify():
+            # Checksum mismatch: the payload was corrupted in flight.  A
+            # reliable transport never delivers garbage — treat it as a
+            # loss and let the cumulative ACK drive a retransmission.
+            self.corrupt_rejected += 1
+            self._m_corrupt_rejected.inc()
+            self._send_cumulative_ack(ecn=packet.ecn)
+            return
         if packet.is_trimmed:
             # The baseline cannot use a trimmed payload: count it as lost.
             self.trimmed_rejected += 1

@@ -123,10 +123,16 @@ class TrimmingReceiver:
         self._peer: Optional[str] = None
         self.trimmed_accepted = 0
         self.nacks_sent = 0
+        self.corrupt_rejected = 0
         registry = get_registry()
         self._m_trimmed_accepted = registry.counter(
             "repro_transport_trimmed_accepted_total",
             "trimmed gradient packets accepted as deliveries",
+            ("transport",),
+        ).bind(transport=type(self).__name__)
+        self._m_corrupt_rejected = registry.counter(
+            "repro_transport_corrupt_rejected_total",
+            "packets failing checksum verification, treated as losses",
             ("transport",),
         ).bind(transport=type(self).__name__)
         self._m_nacks = registry.counter(
@@ -150,6 +156,17 @@ class TrimmingReceiver:
             return
         self._peer = packet.src
         self._total = packet.seq_total or self._total
+        if not packet.verify():
+            # The payload (gradient heads/tails, or worse: the metadata /
+            # scale packet every decode depends on) was corrupted in
+            # flight.  Decoding garbage would silently poison the round —
+            # re-request instead, exactly like an NDP NACK.
+            self.corrupt_rejected += 1
+            self._m_corrupt_rejected.inc()
+            self._send_control(packet.seq, nack=True)
+            self.nacks_sent += 1
+            self._m_nacks.inc()
+            return
         if packet.is_trimmed:
             usable = self.accept_trimmed and packet.is_gradient
             if not usable:

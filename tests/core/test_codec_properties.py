@@ -1,0 +1,154 @@
+"""Property-based codec contracts: encode → trim → decode.
+
+Hypothesis varies the data seed, the vector length and the trim depth;
+the assertions are the paper's core claims, phrased so they hold
+deterministically for any example:
+
+* untrimmed decode is (near-)exact for every codec;
+* a trim mask only perturbs the masked coordinates of the scalar
+  codecs — survivors decode bit-identically;
+* the trimmed estimate is unbiased: averaging decodes across
+  shared-randomness draws (distinct message ids) converges on the
+  clipped input.
+
+``derandomize=True`` keeps the statistical tolerances reproducible —
+the same examples run every time, so a passing suite stays passing.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    RHTCodec,
+    StochasticQuantizationCodec,
+    SubtractiveDitheringCodec,
+    nmse,
+)
+from repro.transforms import shared_generator
+
+SCALAR_CODECS = (StochasticQuantizationCodec, SubtractiveDitheringCodec)
+
+
+def gradient(n, seed):
+    gen = shared_generator(seed, purpose="data")
+    return gen.standard_normal(n).astype(np.float32).astype(np.float64)
+
+
+def trim_mask(n, depth_permille, seed):
+    """Deterministic Bernoulli mask with an arbitrary trim depth."""
+    gen = shared_generator(seed, purpose="trim")
+    return gen.random(n) < depth_permille / 1000.0
+
+
+class TestUntrimmedRoundTrip:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=1, max_value=600),
+    )
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    def test_scalar_codecs_near_exact(self, seed, n):
+        x = gradient(n, seed)
+        for codec_cls in SCALAR_CODECS:
+            codec = codec_cls(root_seed=seed)
+            decoded = codec.decode(codec.encode(x, message_id=1))
+            assert nmse(x, decoded) < 1e-12
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=1, max_value=600),
+    )
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    def test_rht_fp32_exact(self, seed, n):
+        x = gradient(n, seed)
+        codec = RHTCodec(root_seed=seed, row_size=128)
+        decoded = codec.decode(codec.encode(x, message_id=1))
+        assert nmse(x, decoded) < 1e-12
+
+
+class TestTrimLocality:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=2, max_value=600),
+        depth=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    def test_survivors_decode_bit_identically(self, seed, n, depth):
+        """Trimming coordinate i never changes decoded coordinate j≠i
+        for the per-coordinate codecs, at any trim depth."""
+        x = gradient(n, seed)
+        mask = trim_mask(n, depth, seed + 1)
+        for codec_cls in SCALAR_CODECS:
+            codec = codec_cls(root_seed=seed)
+            enc = codec.encode(x, message_id=2)
+            full = codec.decode(enc)
+            partial = codec.decode(enc, trimmed=mask)
+            assert np.array_equal(partial[~mask], full[~mask])
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=2, max_value=600),
+        depth=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    def test_trimmed_values_bounded_by_scale(self, seed, n, depth):
+        """A trimmed coordinate decodes to a value inside the clip range
+        (±L for SQ, ±2L for SD's dither-shifted levels)."""
+        x = gradient(n, seed)
+        mask = trim_mask(n, depth, seed + 1)
+        for codec_cls in SCALAR_CODECS:
+            codec = codec_cls(root_seed=seed)
+            enc = codec.encode(x, message_id=3)
+            decoded = codec.decode(enc, trimmed=mask)
+            scale = enc.metadata.scale
+            assert np.all(np.isfinite(decoded))
+            assert np.all(np.abs(decoded[mask]) <= 2.0 * scale + 1e-9)
+
+
+class TestTrimUnbiasedness:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        depth=st.integers(min_value=100, max_value=1000),
+    )
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    def test_scalar_estimate_tracks_clipped_input(self, seed, depth):
+        """Averaging fully independent shared-randomness draws of the
+        trimmed estimate converges on the clipped coordinate — the
+        unbiasedness that makes trimming benign for SGD."""
+        n, rounds = 256, 400
+        x = gradient(n, seed)
+        mask = trim_mask(n, depth, seed + 1)
+        if not mask.any():
+            return
+        for codec_cls in SCALAR_CODECS:
+            codec = codec_cls(root_seed=seed)
+            acc = np.zeros(n)
+            scale = None
+            for message_id in range(rounds):
+                enc = codec.encode(x, message_id=message_id)
+                acc += codec.decode(enc, trimmed=mask)
+                scale = enc.metadata.scale
+            mean = acc / rounds
+            clipped = np.clip(x, -scale, scale)
+            # CLT bound: per-draw std is at most ~1.5*scale, so the mean
+            # of `rounds` draws sits within ~6 standard errors.
+            tol = 6.0 * 1.5 * scale / np.sqrt(rounds)
+            assert np.max(np.abs(mean[mask] - clipped[mask])) < tol
+
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=5, deadline=None, derandomize=True)
+    def test_rht_estimate_tracks_input(self, seed):
+        """RHT full-trim decode is unbiased across rotation draws."""
+        n, rounds = 64, 600
+        x = gradient(n, seed)
+        codec = RHTCodec(root_seed=seed, row_size=64)
+        full_trim = np.ones(n, dtype=bool)
+        acc = np.zeros(n)
+        for message_id in range(rounds):
+            enc = codec.encode(x, message_id=message_id)
+            acc += codec.decode(enc, trimmed=full_trim)
+        mean = acc / rounds
+        # Row scale is O(sigma); the estimator error after averaging
+        # shrinks as 1/sqrt(rounds).
+        tol = 8.0 * float(np.std(x)) * np.sqrt(n) / np.sqrt(rounds)
+        assert np.max(np.abs(mean - x)) < tol

@@ -1,0 +1,151 @@
+"""The train loop under faults: degraded steps instead of hangs."""
+
+import numpy as np
+import pytest
+
+from repro.core import RHTCodec, SubtractiveDitheringCodec
+from repro.faults import FaultInjector, FaultSpec, Scenario
+from repro.net import dumbbell
+from repro.train import NetworkChannel, TrimChannel
+from repro.transport.base import TransportSurrender
+
+
+def gradient(n=4000, seed=0):
+    return np.random.default_rng(seed).standard_normal(n).astype(np.float64)
+
+
+def corrupting_factory():
+    """A dumbbell that corrupts every data packet on the bottleneck —
+    the receiver NACKs everything, retransmissions re-corrupt, and the
+    sender must eventually surrender (never decode garbage)."""
+
+    def factory():
+        net = dumbbell(pairs=1)
+        scenario = Scenario(
+            name="wire-corruptor",
+            description="every data packet corrupted",
+            faults=(FaultSpec("corrupt", "s0->s1", rate=1.0),),
+        )
+        FaultInjector(net, scenario, root_seed=0).install()
+        return net
+
+    return factory
+
+
+class TestNetworkChannelSurrender:
+    def test_surrender_raises_without_degraded_step(self):
+        channel = NetworkChannel(
+            corrupting_factory(),
+            RHTCodec(root_seed=1),
+            src="tx0",
+            dst="rx0",
+            deadline_s=5.0,
+            max_retries=8,
+        )
+        with pytest.raises(TransportSurrender, match="max_retries"):
+            channel.transfer(gradient())
+
+    def test_degraded_step_returns_zero_gradient(self):
+        channel = NetworkChannel(
+            corrupting_factory(),
+            RHTCodec(root_seed=1),
+            src="tx0",
+            dst="rx0",
+            deadline_s=5.0,
+            degraded_step=True,
+            max_retries=8,
+        )
+        x = gradient()
+        out = channel.transfer(x)
+        assert np.array_equal(out, np.zeros_like(x))
+        assert channel.stats.rounds_surrendered == 1
+        assert channel.stats.messages == 1
+
+    def test_missed_deadline_degrades_too(self):
+        channel = NetworkChannel(
+            corrupting_factory(),
+            RHTCodec(root_seed=1),
+            src="tx0",
+            dst="rx0",
+            deadline_s=1e-6,  # nothing can complete this fast
+            degraded_step=True,
+        )
+        out = channel.transfer(gradient())
+        assert not out.any()
+        assert channel.stats.rounds_surrendered == 1
+
+    def test_healthy_path_is_unchanged(self):
+        channel = NetworkChannel(
+            lambda: dumbbell(pairs=1),
+            RHTCodec(root_seed=1),
+            src="tx0",
+            dst="rx0",
+            degraded_step=True,
+        )
+        x = gradient()
+        out = channel.transfer(x)
+        assert channel.stats.rounds_surrendered == 0
+        assert np.square(out - x).mean() / np.square(x).mean() < 1e-6
+
+
+class TestTrimChannelDrops:
+    def test_drop_rate_zeroes_lost_coordinates(self):
+        channel = TrimChannel(
+            SubtractiveDitheringCodec(root_seed=3), trim_rate=0.0, drop_rate=0.5,
+            seed=4,
+        )
+        x = gradient()
+        out = channel.transfer(x)
+        assert channel.stats.packets_dropped > 0
+        assert channel.stats.rounds_surrendered == 0
+        # Dropped packets arrive as zeros; survivors are near-exact.
+        zero_coords = out == 0.0
+        assert zero_coords.any()
+        survivors = ~zero_coords
+        assert np.allclose(out[survivors], x[survivors], atol=1e-6)
+
+    def test_all_dropped_surrenders_the_round(self):
+        channel = TrimChannel(
+            SubtractiveDitheringCodec(root_seed=3), trim_rate=0.0, drop_rate=1.0
+        )
+        x = gradient()
+        out = channel.transfer(x)
+        assert np.array_equal(out, np.zeros_like(x))
+        assert channel.stats.rounds_surrendered == 1
+        assert channel.stats.packets_dropped == channel.stats.packets_total
+
+    def test_drop_pattern_is_deterministic(self):
+        def run():
+            channel = TrimChannel(
+                SubtractiveDitheringCodec(root_seed=3),
+                trim_rate=0.2,
+                drop_rate=0.3,
+                seed=7,
+            )
+            return channel.transfer(gradient()), channel.stats.packets_dropped
+
+        (out_a, drops_a), (out_b, drops_b) = run(), run()
+        assert drops_a == drops_b
+        assert np.array_equal(out_a, out_b)
+
+    def test_drops_do_not_perturb_trim_pattern(self):
+        """Adding drops must not change which packets get trimmed —
+        the drop stream is independent (purpose='fault')."""
+        base = TrimChannel(
+            SubtractiveDitheringCodec(root_seed=3), trim_rate=0.4, seed=7
+        )
+        with_drops = TrimChannel(
+            SubtractiveDitheringCodec(root_seed=3),
+            trim_rate=0.4,
+            drop_rate=0.0001,
+            seed=7,
+        )
+        x = gradient()
+        out_base = base.transfer(x)
+        out_drops = with_drops.transfer(x)
+        if with_drops.stats.packets_dropped == 0:
+            assert np.array_equal(out_base, out_drops)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            TrimChannel(SubtractiveDitheringCodec(), trim_rate=0.1, drop_rate=1.5)

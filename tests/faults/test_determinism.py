@@ -1,0 +1,66 @@
+"""The determinism contract: same scenario + same seed ⇒ identical logs."""
+
+import json
+
+import pytest
+
+from repro.faults import PRESETS, run_scenario
+from repro.faults.cli import main, render_jsonl
+
+
+class TestRunDeterminism:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_event_logs_are_byte_identical(self, preset):
+        first = run_scenario(PRESETS[preset], transport="trimming", seed=11)
+        second = run_scenario(PRESETS[preset], transport="trimming", seed=11)
+        assert render_jsonl(first) == render_jsonl(second)
+
+    def test_different_seed_changes_the_log(self):
+        a = run_scenario(PRESETS["flaky-link"], transport="trimming", seed=1)
+        b = run_scenario(PRESETS["flaky-link"], transport="trimming", seed=2)
+        assert render_jsonl(a) != render_jsonl(b)
+
+    def test_events_carry_sim_time_only(self):
+        run = run_scenario(PRESETS["flaky-link"], transport="gbn", seed=5)
+        for event in run.events:
+            assert "t" in event
+            assert "wall_time" not in event
+
+
+class TestCli:
+    def test_list_exits_clean(self):
+        assert main(["list"]) == 0
+
+    def test_run_writes_identical_files(self, tmp_path):
+        out_a, out_b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(["run", "flaky-link", "--seed", "9", "--out", str(out_a)]) == 0
+        assert main(["run", "flaky-link", "--seed", "9", "--out", str(out_b)]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_output_is_valid_jsonl_with_summary(self, tmp_path):
+        out = tmp_path / "log.jsonl"
+        assert main(["run", "blackout-recovery", "--seed", "3", "--out", str(out)]) == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert lines, "empty log"
+        assert all(rec["kind"] == "fault" for rec in lines[:-1])
+        summary = lines[-1]
+        assert summary["kind"] == "summary"
+        assert summary["scenario"] == "blackout-recovery"
+        assert summary["completed_flows"] == summary["flows"]
+        assert "impairments" in summary
+
+    def test_run_accepts_scenario_json_file(self, tmp_path):
+        spec = {
+            "name": "from-file",
+            "description": "corruption burst defined in JSON",
+            "faults": [
+                {"fault": "corrupt", "target": "s0->s1", "rate": 0.5, "stop_s": 1e-4}
+            ],
+            "coords": 4000,
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(spec))
+        out = tmp_path / "log.jsonl"
+        assert main(["run", str(path), "--seed", "1", "--out", str(out)]) == 0
+        summary = json.loads(out.read_text().splitlines()[-1])
+        assert summary["scenario"] == "from-file"

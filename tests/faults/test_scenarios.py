@@ -1,0 +1,104 @@
+"""Unit tests for the declarative scenario format and presets."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    PRESETS,
+    FaultSpec,
+    Scenario,
+    available_scenarios,
+    scenario_by_name,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            FaultSpec("bitrot", "s0->s1", rate=0.1)
+
+    def test_per_packet_kinds_need_rate(self):
+        for kind in ("corrupt", "ack-loss", "duplicate", "reorder"):
+            with pytest.raises(ValueError, match="rate"):
+                FaultSpec(kind, "s0->s1")
+
+    def test_flap_needs_downtime(self):
+        with pytest.raises(ValueError, match="down_s"):
+            FaultSpec("flap", "s0->s1")
+
+    def test_blackout_target_shape(self):
+        with pytest.raises(ValueError, match="switch:neighbor"):
+            FaultSpec("blackout", "s0->s1", down_s=1e-3)
+        with pytest.raises(ValueError, match="src->dst"):
+            FaultSpec("corrupt", "s0:s1", rate=0.1)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            FaultSpec("corrupt", "s0->s1", rate=0.1, start_s=2.0, stop_s=1.0)
+
+    def test_period_must_exceed_downtime(self):
+        with pytest.raises(ValueError, match="period_s"):
+            FaultSpec("flap", "s0->s1", down_s=2e-3, period_s=1e-3)
+
+    def test_active_window(self):
+        spec = FaultSpec("corrupt", "s0->s1", rate=0.5, start_s=1.0, stop_s=2.0)
+        assert not spec.active_at(0.5)
+        assert spec.active_at(1.0)
+        assert spec.active_at(1.999)
+        assert not spec.active_at(2.0)
+
+    def test_open_ended_window(self):
+        spec = FaultSpec("corrupt", "s0->s1", rate=0.5)
+        assert spec.active_at(0.0)
+        assert spec.active_at(1e9)
+
+
+class TestScenario:
+    def test_needs_faults(self):
+        with pytest.raises(ValueError, match="at least one fault"):
+            Scenario(name="empty", description="", faults=())
+
+    def test_dict_round_trip(self):
+        scenario = PRESETS["flaky-link"]
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = PRESETS["flaky-link"].to_dict()
+        data["chaos_level"] = 11
+        with pytest.raises(ValueError, match="unknown scenario keys"):
+            Scenario.from_dict(data)
+
+    def test_from_dict_builds_specs_from_plain_dicts(self):
+        scenario = Scenario.from_dict(
+            {
+                "name": "adhoc",
+                "description": "one corrupt stream",
+                "faults": [{"fault": "corrupt", "target": "s0->s1", "rate": 0.5}],
+            }
+        )
+        assert scenario.faults[0] == FaultSpec("corrupt", "s0->s1", rate=0.5)
+
+
+class TestPresets:
+    def test_six_presets(self):
+        assert len(PRESETS) == 6
+        assert available_scenarios() == sorted(PRESETS)
+
+    def test_expected_names(self):
+        assert set(PRESETS) == {
+            "flaky-link",
+            "incast-plus-corruption",
+            "ack-storm-loss",
+            "reorder-heavy",
+            "flap-during-allreduce",
+            "blackout-recovery",
+        }
+
+    def test_every_kind_is_covered(self):
+        used = {spec.fault for s in PRESETS.values() for spec in s.faults}
+        assert used == set(FAULT_KINDS)
+
+    def test_lookup(self):
+        assert scenario_by_name("reorder-heavy").name == "reorder-heavy"
+        with pytest.raises(KeyError, match="available"):
+            scenario_by_name("nope")

@@ -112,9 +112,15 @@ def test_suppression_only_covers_named_rule():
 
 def test_scoping_keeps_rules_in_their_packages():
     wallclock = "import time\nnow = time.time()\n"
-    # wall-clock-in-sim is scoped to net/ and transport/: core/ is fine.
+    # wall-clock-in-sim is scoped to net/, transport/ and faults/: core/ is fine.
     assert ENGINE.lint_text(wallclock, rel="core/x.py") == []
     assert rule_names(ENGINE.lint_text(wallclock, rel="net/x.py")) == {"wall-clock-in-sim"}
+    assert rule_names(ENGINE.lint_text(wallclock, rel="faults/x.py")) == {"wall-clock-in-sim"}
+
+    bare = "import numpy as np\nrng = np.random.default_rng(1)\n"
+    # bare-randomness covers the fault-injection package: seeded faults
+    # must come from shared_generator, never an ad-hoc generator.
+    assert rule_names(ENGINE.lint_text(bare, rel="faults/x.py")) == {"bare-randomness"}
 
     floats = "ok = value == 0.5\n"
     # float-eq is scoped to the numeric modules, not e.g. obs/.

@@ -112,6 +112,19 @@ class TestTrimToBits:
         with pytest.raises(ValueError, match="cannot keep"):
             trim_to_bits(plane_packet(), keep_bits=40)
 
+    def test_sealed_packet_is_resealed(self):
+        """A multi-level trim must re-seal, like Packet.trim — a stale
+        checksum would read as in-flight corruption at the receiver."""
+        pkt = plane_packet()
+        pkt.seal()
+        trimmed = trim_to_bits(pkt, keep_bits=8)
+        assert trimmed.checksum is not None
+        assert trimmed.verify()
+
+    def test_unsealed_packet_stays_unsealed(self):
+        trimmed = trim_to_bits(plane_packet(), keep_bits=8)
+        assert trimmed.checksum is None
+
     def test_two_plane_default_head_trim(self):
         """trim_to_bits with (P, Q) planes matches Packet.trim for P=1."""
         from tests.packet.test_packet import gradient_packet

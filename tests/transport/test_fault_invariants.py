@@ -1,0 +1,100 @@
+"""Seeded transport invariants under every fault preset.
+
+The contract this suite enforces, for every preset × transport pair:
+
+* **terminal state** — every flow either completes or surrenders
+  explicitly; nothing is left in limbo (no deadlock);
+* **bounded work** — the run finishes within a simulator-step budget
+  (no livelock);
+* **exactly-once delivery** — ``on_message`` fires at most once per
+  flow, and a delivered message contains every sequence number exactly
+  once, in order.
+"""
+
+import pytest
+
+from repro.faults import PRESETS, run_scenario
+from repro.faults.harness import TRANSPORTS
+
+#: Generous step budget: the heaviest preset (incast, 4 pairs) finishes
+#: well under this; a livelocked retransmit storm blows straight past it.
+STEP_BOUND = 400_000
+
+CASES = [
+    (preset, transport)
+    for preset in sorted(PRESETS)
+    for transport in TRANSPORTS
+]
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One shared run per (preset, transport): the suite asserts many
+    invariants on each, and the simulations dominate the runtime."""
+    return {
+        (preset, transport): run_scenario(
+            PRESETS[preset], transport=transport, seed=7, max_events=STEP_BOUND
+        )
+        for preset, transport in CASES
+    }
+
+
+@pytest.mark.parametrize("preset,transport", CASES)
+class TestFaultInvariants:
+    def test_every_flow_reaches_terminal_state(self, runs, preset, transport):
+        run = runs[(preset, transport)]
+        for flow, sender in run.senders.items():
+            assert sender.done or sender.failed, (
+                f"{preset}/{transport}: flow {flow} neither completed nor "
+                f"surrendered (livelock/deadlock)"
+            )
+
+    def test_step_bound(self, runs, preset, transport):
+        run = runs[(preset, transport)]
+        assert run.steps < STEP_BOUND
+
+    def test_no_duplicate_delivery(self, runs, preset, transport):
+        run = runs[(preset, transport)]
+        for flow, calls in run.delivery_calls.items():
+            assert calls == 1, f"{preset}/{transport}: flow {flow} delivered {calls}x"
+
+    def test_delivered_messages_are_in_order_and_complete(
+        self, runs, preset, transport
+    ):
+        run = runs[(preset, transport)]
+        for flow, packets in run.deliveries.items():
+            seqs = [p.seq for p in packets]
+            assert seqs == sorted(seqs), f"{preset}/{transport}: out of order"
+            assert len(set(seqs)) == len(seqs), f"{preset}/{transport}: dup seq"
+            assert len(seqs) == packets[0].seq_total
+
+    def test_surrender_is_explicit_and_mutual(self, runs, preset, transport):
+        """A surrendered flow reports a reason and never also delivers."""
+        run = runs[(preset, transport)]
+        for flow, reason in run.surrenders.items():
+            assert reason
+            assert run.senders[flow].failed
+            assert flow not in run.deliveries
+
+    def test_faults_were_actually_injected(self, runs, preset, transport):
+        run = runs[(preset, transport)]
+        assert sum(run.fault_counts.values()) > 0, (
+            f"{preset}/{transport}: scenario ran but injected nothing"
+        )
+
+    def test_completed_flows_decode(self, runs, preset, transport):
+        """Whatever survived the faults decodes to a finite gradient
+        with bounded error — corrupted packets never reach the codec."""
+        run = runs[(preset, transport)]
+        for flow in run.deliveries:
+            assert flow in run.decode_nmse
+            assert run.decode_nmse[flow] < 1.0
+
+
+def test_all_presets_complete_on_clean_transports():
+    """Sanity anchor: with faults present but mild (flaky-link), every
+    transport still fully delivers — surrender is the exception path,
+    not the common case."""
+    run = run_scenario(PRESETS["flaky-link"], transport="gbn", seed=3)
+    assert run.completed_flows == run.flows
+    assert not run.surrenders
