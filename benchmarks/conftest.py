@@ -6,7 +6,12 @@ replays everything recorded through :func:`repro.bench.emit` in the
 terminal summary and archives it twice: the human-readable blocks to
 ``benchmarks/results_latest.txt`` and the machine-readable records
 (every rendered :class:`repro.bench.ExperimentResult` plus any
-``record_result`` call) to ``benchmarks/BENCH_results.json``.
+``record_result`` call) to ``benchmarks/results_latest.json``.
+
+``benchmarks/BENCH_results.json`` is the *committed baseline* that
+``repro-bench --compare`` (and the CI ``perf-smoke`` job) checks the
+latest run against — it is only rewritten deliberately, via
+``repro-bench --compare --update-baseline``.
 """
 
 import json
@@ -28,7 +33,7 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         archive.write_text("\n".join(EMITTED) + "\n")
         terminalreporter.write_line(f"\n(archived to {archive})")
     if RESULTS:
-        json_archive = here / "BENCH_results.json"
+        json_archive = here / "results_latest.json"
         json_archive.write_text(
             json.dumps(RESULTS, indent=2, sort_keys=True) + "\n"
         )

@@ -3,12 +3,22 @@
 These use the real pytest-benchmark loop (not pedantic) — they are the
 measured per-coordinate throughput numbers that the round-time model
 scales into the Figure 5 breakdown.
+
+The ``test_pipeline_stage_throughput`` benchmark additionally times each
+stage of the gradient hot path (encode → packetize → depacketize →
+decode) with a plain ``perf_counter`` loop and records the
+coordinates-per-second numbers through :func:`repro.bench.record_result`,
+so ``repro-bench compare`` can gate regressions against the checked-in
+``benchmarks/BENCH_results.json`` baseline (see docs/performance.md).
 """
+
+import time
 
 import numpy as np
 import pytest
 
-from repro.core import MultiLevelCodec, codec_by_name
+from repro.bench import record_result
+from repro.core import MultiLevelCodec, codec_by_name, depacketize, packetize
 
 NUM_COORDS = 2**16
 
@@ -16,6 +26,73 @@ NUM_COORDS = 2**16
 @pytest.fixture(scope="module")
 def gradient():
     return np.random.default_rng(0).standard_normal(NUM_COORDS)
+
+
+def _best_seconds(fn, repeats=5, number=3):
+    """Best-of-``repeats`` mean seconds per call over ``number`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - start) / number)
+    return best
+
+
+def test_pipeline_stage_throughput(gradient):
+    """Per-stage hot-path throughput for the paper's P=1/Q=31 layout."""
+    codec = codec_by_name("sign", root_seed=1)
+    enc = codec.encode(gradient, epoch=0, message_id=1)
+    packets = packetize(enc, "a", "b")
+    # Stress depacketize the way congestion does: every third data packet
+    # trimmed, every seventh dropped, and the rest arriving reversed.
+    received = []
+    for i, pkt in enumerate(packets):
+        if i and i % 7 == 0:
+            continue
+        received.append(pkt.trim() if i and i % 3 == 0 else pkt)
+    received = received[::-1]
+
+    encode_s = _best_seconds(lambda: codec.encode(gradient, epoch=0, message_id=1))
+    packetize_s = _best_seconds(lambda: packetize(enc, "a", "b"))
+    both_s = _best_seconds(
+        lambda: packetize(codec.encode(gradient, epoch=0, message_id=1), "a", "b")
+    )
+    depacketize_s = _best_seconds(lambda: depacketize(packets))
+    depacketize_congested_s = _best_seconds(lambda: depacketize(received))
+    message = depacketize(packets)
+    decode_s = _best_seconds(
+        lambda: codec.decode(message.to_encoded(), trimmed=message.trimmed)
+    )
+
+    record_result(
+        "perf codec pipeline (P=1/Q=31, sign)",
+        {
+            "coords": NUM_COORDS,
+            "encode_coords_per_s": NUM_COORDS / encode_s,
+            "packetize_coords_per_s": NUM_COORDS / packetize_s,
+            "encode_packetize_coords_per_s": NUM_COORDS / both_s,
+            "depacketize_coords_per_s": NUM_COORDS / depacketize_s,
+            "depacketize_congested_coords_per_s": NUM_COORDS / depacketize_congested_s,
+            "decode_coords_per_s": NUM_COORDS / decode_s,
+        },
+    )
+    assert depacketize(packets).length == NUM_COORDS
+
+
+def test_rht_pipeline_throughput(gradient):
+    """Encode+packetize throughput for the rotated (RHT) codec."""
+    codec = codec_by_name("rht", root_seed=1, row_size=4096)
+
+    def round_trip():
+        return packetize(codec.encode(gradient, epoch=0, message_id=1), "a", "b")
+
+    seconds = _best_seconds(round_trip)
+    record_result(
+        "perf rht encode+packetize (row=4096)",
+        {"coords": NUM_COORDS, "encode_packetize_coords_per_s": NUM_COORDS / seconds},
+    )
+    assert depacketize(round_trip()).length >= NUM_COORDS
 
 
 @pytest.mark.parametrize("name", ["sign", "sq", "sd", "rht"])

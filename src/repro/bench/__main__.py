@@ -12,6 +12,16 @@ Regenerates any paper figure/table without pytest::
 
 Pass ``--trace run.jsonl`` (or set ``REPRO_OBS_TRACE``) to record the
 gradient-path trace and append the observability report.
+
+``--compare`` switches to benchmark-regression mode: the latest archived
+results (``benchmarks/results_latest.json``, written by any benchmarks
+pytest run) are checked against the committed baseline
+(``benchmarks/BENCH_results.json``); any throughput metric more than
+``--threshold`` (default 30 %) below baseline fails with exit code 1::
+
+    python -m repro.bench --compare
+    python -m repro.bench --compare --threshold 0.5
+    python -m repro.bench --compare --update-baseline   # bless current run
 """
 
 from __future__ import annotations
@@ -22,6 +32,13 @@ import os
 import sys
 
 from .harness import ascii_chart, emit_obs_report, format_table, obs_from_env
+from .regression import (
+    DEFAULT_THRESHOLD,
+    compare_results,
+    format_comparisons,
+    load_results,
+    update_baseline,
+)
 
 _log = logging.getLogger("repro.bench.cli")
 
@@ -40,6 +57,39 @@ def _print_fig3(scale: str) -> None:
         _log.info("%s", format_table(["codec", "end time (s)", "final top-1"], rows))
 
 
+def _run_compare(args: argparse.Namespace) -> int:
+    """--compare mode: gate the latest benchmark run against the baseline."""
+    from .. import configure_logging
+
+    configure_logging()
+    try:
+        current = load_results(args.current)
+        baseline = load_results(args.baseline)
+        comparisons = compare_results(current, baseline, threshold=args.threshold)
+    except (OSError, ValueError) as exc:
+        _log.error("benchmark comparison failed: %s", exc)
+        return 2
+    _log.info("\n%s", format_comparisons(comparisons))
+    regressions = [comp for comp in comparisons if comp.regressed]
+    if args.update_baseline:
+        update_baseline(args.baseline, current)
+        _log.info("baseline %s updated with %d record(s)", args.baseline, len(current))
+        return 0
+    if regressions:
+        _log.error(
+            "%d metric(s) regressed more than %.0f%% below baseline",
+            len(regressions),
+            args.threshold * 100,
+        )
+        return 1
+    _log.info(
+        "all %d throughput metric(s) within %.0f%% of baseline",
+        len(comparisons),
+        args.threshold * 100,
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -47,6 +97,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=["f2", "t2", "fig5", "t1", "fig3", "fig4", "all"],
         help="which paper artifact to regenerate",
     )
@@ -62,7 +113,40 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="write a gradient-path JSONL trace here and append the run report",
     )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="compare benchmarks/results_latest.json against the checked-in baseline",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/BENCH_results.json",
+        metavar="PATH",
+        help="baseline results file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--current",
+        default="benchmarks/results_latest.json",
+        metavar="PATH",
+        help="current results file to compare (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        metavar="FRACTION",
+        help="tolerated throughput drop before failing (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with --compare: merge the current results into the baseline file",
+    )
     args = parser.parse_args(argv)
+    if args.compare:
+        return _run_compare(args)
+    if args.experiment is None:
+        parser.error("an experiment is required unless --compare is given")
     if args.scale:
         os.environ["REPRO_BENCH_SCALE"] = args.scale
     scale = args.scale or os.environ.get("REPRO_BENCH_SCALE", "quick")

@@ -1,0 +1,165 @@
+"""Benchmark-regression comparison against a checked-in baseline.
+
+The benchmarks conftest archives every machine-readable
+:func:`repro.bench.record_result` record to
+``benchmarks/results_latest.json``; this module compares such a run
+against the committed baseline (``benchmarks/BENCH_results.json``) and
+flags throughput regressions.  ``repro-bench --compare`` (and the CI
+``perf-smoke`` job) is a thin wrapper around :func:`compare_files`.
+
+Only *throughput-style* metrics gate: a numeric metric whose key ends in
+``_per_s`` regresses when the current value drops more than ``threshold``
+(default 30 %) below the baseline.  Everything else in the records is
+informational.  Comparison covers the experiments present in both files;
+a run that shares no experiment with the baseline fails loudly rather
+than passing vacuously.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Union
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "THROUGHPUT_SUFFIX",
+    "MetricComparison",
+    "load_results",
+    "compare_results",
+    "compare_files",
+    "format_comparisons",
+    "update_baseline",
+]
+
+#: Maximum tolerated fractional throughput drop before a metric regresses.
+DEFAULT_THRESHOLD = 0.30
+
+#: Metric-key suffix marking higher-is-better throughput numbers.
+THROUGHPUT_SUFFIX = "_per_s"
+
+Record = Dict[str, object]
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One throughput metric measured against its baseline."""
+
+    experiment_id: str
+    metric: str
+    baseline: float
+    current: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (inf when the baseline is zero)."""
+        return self.current / self.baseline if self.baseline else float("inf")
+
+
+def load_results(path: PathLike) -> Dict[str, Record]:
+    """Load a ``BENCH_results.json``-style file keyed by experiment id."""
+    records = json.loads(Path(path).read_text())
+    if not isinstance(records, list):
+        raise ValueError(f"{path}: expected a JSON list of result records")
+    by_id: Dict[str, Record] = {}
+    for record in records:
+        if not isinstance(record, dict) or "experiment_id" not in record:
+            raise ValueError(f"{path}: record without experiment_id: {record!r}")
+        by_id[str(record["experiment_id"])] = record
+    return by_id
+
+
+def _throughput_metrics(record: Mapping[str, object]) -> Dict[str, float]:
+    return {
+        key: float(value)  # type: ignore[arg-type]
+        for key, value in record.items()
+        if key.endswith(THROUGHPUT_SUFFIX) and isinstance(value, (int, float))
+    }
+
+
+def compare_results(
+    current: Mapping[str, Record],
+    baseline: Mapping[str, Record],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[MetricComparison]:
+    """Compare throughput metrics of the experiments present in both runs.
+
+    Returns one :class:`MetricComparison` per shared ``*_per_s`` metric,
+    sorted by (experiment, metric).  Raises ``ValueError`` when the runs
+    share no experiment — comparing nothing must not look like a pass.
+    """
+    if not 0.0 <= threshold < 1.0:
+        raise ValueError(f"threshold must be in [0, 1), got {threshold}")
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        raise ValueError(
+            "no experiments in common between current results and baseline; "
+            f"current={sorted(current)} baseline={sorted(baseline)}"
+        )
+    comparisons: List[MetricComparison] = []
+    for experiment_id in shared:
+        base_metrics = _throughput_metrics(baseline[experiment_id])
+        cur_metrics = _throughput_metrics(current[experiment_id])
+        for metric in sorted(set(base_metrics) & set(cur_metrics)):
+            base, cur = base_metrics[metric], cur_metrics[metric]
+            regressed = base > 0 and cur < base * (1.0 - threshold)
+            comparisons.append(
+                MetricComparison(
+                    experiment_id=experiment_id,
+                    metric=metric,
+                    baseline=base,
+                    current=cur,
+                    regressed=regressed,
+                )
+            )
+    return comparisons
+
+
+def compare_files(
+    current_path: PathLike,
+    baseline_path: PathLike,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[MetricComparison]:
+    """File-level convenience wrapper around :func:`compare_results`."""
+    return compare_results(
+        load_results(current_path), load_results(baseline_path), threshold
+    )
+
+
+def format_comparisons(comparisons: Sequence[MetricComparison]) -> str:
+    """Render comparisons as the harness's fixed-width ASCII table."""
+    from .harness import format_table
+
+    rows = [
+        [
+            comp.experiment_id,
+            comp.metric,
+            f"{comp.baseline:,.0f}",
+            f"{comp.current:,.0f}",
+            f"{comp.ratio:.2f}x",
+            "REGRESSED" if comp.regressed else "ok",
+        ]
+        for comp in comparisons
+    ]
+    return format_table(
+        ["experiment", "metric", "baseline", "current", "ratio", "verdict"],
+        rows,
+        title="benchmark regression check",
+    )
+
+
+def update_baseline(baseline_path: PathLike, current: Mapping[str, Record]) -> None:
+    """Merge ``current`` records into the baseline file.
+
+    Records replace same-id baseline entries and new experiments are
+    appended; baseline experiments absent from the current run (e.g. the
+    figure reproductions, when only the perf smoke ran) are preserved.
+    """
+    path = Path(baseline_path)
+    merged = load_results(path) if path.exists() else {}
+    merged.update(current)
+    ordered = [merged[key] for key in sorted(merged)]
+    path.write_text(json.dumps(ordered, indent=2, sort_keys=True) + "\n")

@@ -254,13 +254,13 @@ class MultiLevelCodec:
         never seen get level 0.
         """
         metadata: Optional[GradientMetadata] = None
-        data: list[Packet] = []
+        data: list[tuple[GradientHeader, Packet]] = []
         for pkt in packets:
             header = pkt.grad_header or GradientHeader.from_bytes(pkt.payload)
             if header.is_metadata:
                 metadata = GradientMetadata.from_bytes(pkt.payload[GRADIENT_HEADER_BYTES:])
             else:
-                data.append(pkt)
+                data.append((header, pkt))
         if metadata is None:
             raise ValueError("metadata packet missing; multilevel decode needs row scales")
         width = metadata.row_size
@@ -271,8 +271,7 @@ class MultiLevelCodec:
         residuals = np.zeros(length, dtype=np.uint32)
         levels = np.zeros(length, dtype=np.int64)
 
-        for pkt in data:
-            hdr = pkt.grad_header or GradientHeader.from_bytes(pkt.payload)
+        for hdr, pkt in data:
             body = pkt.payload[GRADIENT_HEADER_BYTES:]
             lo, hi = hdr.coord_offset, hdr.coord_offset + hdr.coord_count
             arrived_bits = hdr.head_bits if hdr.trimmed else hdr.head_bits + hdr.tail_bits

@@ -9,6 +9,19 @@ the packet after the heads leaves a decodable prefix.
 ``depacketize`` reassembles whatever arrived — full packets, trimmed
 packets, or holes where packets were dropped — into per-coordinate head /
 tail arrays plus masks, ready for the codec's decoder.
+
+Both directions run on the training hot path (once per gradient per
+step), so they are whole-message vectorized (see docs/performance.md):
+
+* ``packetize`` packs every packet's heads and tails in one batched
+  :func:`~repro.packet.bitpack.pack_segments` call each, writes all
+  payloads (headers included, via the precompiled struct template) into
+  one contiguous message buffer, and hands each packet a read-only
+  zero-copy ``memoryview`` slice of that buffer.
+* ``depacketize`` parses each gradient header exactly once, groups the
+  arrived packets by geometry, and inverts every group's packed planes
+  with one batched :func:`~repro.packet.bitpack.unpack_batch` call
+  instead of two ``unpack_bits`` calls per packet.
 """
 
 from __future__ import annotations
@@ -20,7 +33,7 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from ..obs.trace import get_tracer
-from ..packet.bitpack import pack_bits, packed_size, unpack_bits
+from ..packet.bitpack import pack_segments, packed_size, unpack_batch
 from ..packet.header import (
     FLAG_METADATA,
     GRADIENT_HEADER_BYTES,
@@ -117,9 +130,38 @@ def packetize(
         )
     )
 
-    for chunk, offset in enumerate(range(0, enc.length, n_per_packet)):
-        end = min(offset + n_per_packet, enc.length)
-        count = end - offset
+    # Pack the whole head and tail planes in one batched call each, with
+    # byte-aligned per-packet segments, then lay every payload out in a
+    # single contiguous message buffer.  Each packet's payload is a
+    # read-only zero-copy view into that buffer (owned bytes only appear
+    # again when a switch trims — see Packet.trim).
+    heads_plane = pack_segments(enc.heads, enc.head_bits, n_per_packet)
+    tails_plane = pack_segments(enc.tails, enc.tail_bits, n_per_packet)
+    num_chunks = heads_plane.num_segments
+    # Every segment but the last has identical geometry; hoist the size
+    # arithmetic out of the per-packet loop (packed_size per packet shows
+    # up in profiles at this call rate).
+    full_head_bytes = packed_size(n_per_packet, enc.head_bits)
+    full_tail_bytes = packed_size(n_per_packet, enc.tail_bits)
+    last_count = heads_plane.segment_count(num_chunks - 1)
+    last_head_bytes = packed_size(last_count, enc.head_bits)
+    last_tail_bytes = packed_size(last_count, enc.tail_bits)
+    full_payload = GRADIENT_HEADER_BYTES + full_head_bytes + full_tail_bytes
+    last_payload = GRADIENT_HEADER_BYTES + last_head_bytes + last_tail_bytes
+    buf = bytearray(full_payload * (num_chunks - 1) + last_payload)
+    heads_buf = memoryview(heads_plane.buffer)
+    tails_buf = memoryview(tails_plane.buffer)
+    views = memoryview(buf).toreadonly()
+    head_seg_bytes = heads_plane.seg_bytes
+    tail_seg_bytes = tails_plane.seg_bytes
+
+    pos = 0
+    for chunk in range(num_chunks):
+        last = chunk == num_chunks - 1
+        count = last_count if last else n_per_packet
+        head_bytes = last_head_bytes if last else full_head_bytes
+        tail_bytes = last_tail_bytes if last else full_tail_bytes
+        payload_size = last_payload if last else full_payload
         header = GradientHeader(
             codec_id=enc.codec_id,
             head_bits=enc.head_bits,
@@ -127,25 +169,28 @@ def packetize(
             message_id=meta.message_id,
             epoch=meta.epoch,
             chunk_index=chunk + 1,
-            coord_offset=offset,
+            coord_offset=chunk * n_per_packet,
             coord_count=count,
             seed=meta.seed,
         )
-        payload = (
-            header.to_bytes()
-            + pack_bits(enc.heads[offset:end], enc.head_bits)
-            + pack_bits(enc.tails[offset:end], enc.tail_bits)
-        )
+        header.pack_into(buf, pos)
+        cursor = pos + GRADIENT_HEADER_BYTES
+        hs = chunk * head_seg_bytes
+        ts = chunk * tail_seg_bytes
+        buf[cursor : cursor + head_bytes] = heads_buf[hs : hs + head_bytes]
+        cursor += head_bytes
+        buf[cursor : cursor + tail_bytes] = tails_buf[ts : ts + tail_bytes]
         packets.append(
             Packet(
                 src=src,
                 dst=dst,
-                payload=payload,
+                payload=views[pos : pos + payload_size],
                 grad_header=header,
                 flow_id=flow_id,
                 seq=chunk + 1,
             )
         )
+        pos += payload_size
     tracer = get_tracer()
     if tracer.enabled:
         tracer.event(
@@ -170,7 +215,10 @@ def depacketize(packets: Iterable[Packet], length: Optional[int] = None) -> Grad
     ``length`` overrides the total coordinate count (otherwise inferred
     from the highest coordinate range seen plus the metadata packet).
     """
-    data_packets: list[Packet] = []
+    # Parse every gradient header exactly once up front (satellite of the
+    # fast-path rework: the old code re-parsed headers up to three times
+    # per packet during length inference).
+    data_packets: list[tuple[GradientHeader, Packet]] = []
     metadata: Optional[GradientMetadata] = None
     geometry: Optional[GradientHeader] = None
 
@@ -180,58 +228,73 @@ def depacketize(packets: Iterable[Packet], length: Optional[int] = None) -> Grad
             metadata = GradientMetadata.from_bytes(pkt.payload[GRADIENT_HEADER_BYTES:])
             geometry = geometry or header
         else:
-            data_packets.append(pkt)
+            data_packets.append((header, pkt))
             geometry = header if geometry is None or geometry.is_metadata else geometry
 
     if geometry is None:
         raise ValueError("no gradient packets to depacketize")
 
     if length is None:
-        seen_end = max(
-            (
-                (p.grad_header or GradientHeader.from_bytes(p.payload)).coord_offset
-                + (p.grad_header or GradientHeader.from_bytes(p.payload)).coord_count
-                for p in data_packets
-            ),
+        length = max(
+            (hdr.coord_offset + hdr.coord_count for hdr, _ in data_packets),
             default=0,
         )
-        length = seen_end
 
-    head_bits = geometry.head_bits + geometry.tail_bits  # full width
     # Geometry fields for the *untrimmed* encoding come from any data
     # packet: a trimmed packet reports its post-trim head_bits, so derive
     # the full split from head_bits + tail_bits which trim preserves.
     full_head_bits = None
     full_tail_bits = None
-    for pkt in data_packets:
-        hdr = pkt.grad_header or GradientHeader.from_bytes(pkt.payload)
+    for hdr, _ in data_packets:
         if not hdr.trimmed:
             full_head_bits, full_tail_bits = hdr.head_bits, hdr.tail_bits
             break
-    if full_head_bits is None:
+    if full_head_bits is None or full_tail_bits is None:
         # All packets trimmed: the head plane width is whatever survived.
         full_head_bits = geometry.head_bits
         full_tail_bits = geometry.tail_bits
-    del head_bits
 
     heads = np.zeros(length, dtype=np.uint32)
     tails = np.zeros(length, dtype=np.uint32)
     trimmed = np.zeros(length, dtype=bool)
     covered = np.zeros(length, dtype=bool)
 
-    for pkt in data_packets:
-        hdr = pkt.grad_header or GradientHeader.from_bytes(pkt.payload)
-        body = pkt.payload[GRADIENT_HEADER_BYTES:]
+    # Group arrived packets by geometry and invert each group's packed
+    # planes in one batched call; a message's packets share one geometry
+    # (plus a possibly-smaller final chunk and the trimmed variants), so
+    # this collapses the per-packet unpack loop into a handful of calls.
+    groups: dict[tuple[int, int, int, bool], tuple[list[int], list[memoryview]]] = {}
+    for hdr, pkt in data_packets:
         lo, hi = hdr.coord_offset, hdr.coord_offset + hdr.coord_count
         if hi > length:
             raise ValueError(f"packet covers coords [{lo},{hi}) beyond length {length}")
-        heads[lo:hi] = unpack_bits(body, hdr.coord_count, hdr.head_bits)
-        covered[lo:hi] = True
-        if hdr.trimmed:
-            trimmed[lo:hi] = True
+        body = memoryview(pkt.payload)[GRADIENT_HEADER_BYTES:]
+        need = packed_size(hdr.coord_count, hdr.head_bits)
+        if not hdr.trimmed:
+            need += packed_size(hdr.coord_count, hdr.tail_bits)
+        if len(body) < need:
+            raise ValueError(
+                f"need {need} payload bytes for {hdr.coord_count} coords "
+                f"({hdr.head_bits}+{0 if hdr.trimmed else hdr.tail_bits} bits), "
+                f"got {len(body)}"
+            )
+        key = (hdr.coord_count, hdr.head_bits, hdr.tail_bits, hdr.trimmed)
+        offsets, bodies = groups.setdefault(key, ([], []))
+        offsets.append(lo)
+        bodies.append(body[:need])
+
+    for (count, head_bits, tail_bits, was_trimmed), (offsets, bodies) in groups.items():
+        span = np.asarray(offsets, dtype=np.int64)[:, None] + np.arange(count)
+        head_need = packed_size(count, head_bits)
+        head_vals = unpack_batch([b[:head_need] for b in bodies], count, head_bits)
+        flat = span.reshape(-1)
+        heads[flat] = head_vals.reshape(-1)
+        covered[flat] = True
+        if was_trimmed:
+            trimmed[flat] = True
         else:
-            tail_start = packed_size(hdr.coord_count, hdr.head_bits)
-            tails[lo:hi] = unpack_bits(body[tail_start:], hdr.coord_count, hdr.tail_bits)
+            tail_vals = unpack_batch([b[head_need:] for b in bodies], count, tail_bits)
+            tails[flat] = tail_vals.reshape(-1)
 
     return GradientMessage(
         heads=heads,

@@ -21,6 +21,7 @@ reduced tail loses original precision (footnote 1).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
@@ -45,6 +46,24 @@ __all__ = [
 
 #: TernGrad-style clipping multiplier: L = 2.5 sigma.
 CLIP_SIGMA_MULTIPLIER = 2.5
+
+
+@lru_cache(maxsize=8)
+def _cached_dither(
+    root_seed: int, epoch: int, message_id: int, scale: float, n: int
+) -> np.ndarray:
+    """Frozen dither stream for one ``(seed, message)`` key.
+
+    The SD codec regenerates the identical ``U(-L, L)`` stream on encode
+    and again on decode of the same message; caching the (read-only)
+    array means each stream is drawn once per round trip.  The cache is
+    deliberately tiny — streams are gradient-sized, and only the few
+    in-flight messages of the current step can hit.
+    """
+    gen = shared_generator(root_seed, epoch, message_id, purpose="dither")
+    dither = gen.uniform(-scale, scale, size=n)
+    dither.setflags(write=False)
+    return dither
 
 
 class ScalarCodec(GradientCodec):
@@ -220,8 +239,8 @@ class SubtractiveDitheringCodec(ScalarCodec):
         # Full-width dither: levels are ±scale, so U(-scale, scale) is
         # the unique width making E[scale·sign(v+ε) − ε] = v on the
         # whole clip range (a half-width dither doubles small values).
-        gen = shared_generator(self.root_seed, epoch, message_id, purpose="dither")
-        return gen.uniform(-scale, scale, size=n)
+        # Cached read-only per (seed, message): decode reuses encode's draw.
+        return _cached_dither(self.root_seed, epoch, message_id, scale, n)
 
     def encode(
         self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0

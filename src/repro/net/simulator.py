@@ -25,10 +25,20 @@ class Event:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _scheduler: "Optional[Simulator]" = field(default=None, compare=False, repr=False)
+    _done: bool = field(default=False, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event dead; it will be skipped when popped."""
+        """Mark the event dead; it will be skipped when popped.
+
+        Cancelling an already-executed or already-cancelled event is a
+        no-op, so timer-style callers can cancel unconditionally.
+        """
+        if self.cancelled or self._done:
+            return
         self.cancelled = True
+        if self._scheduler is not None:
+            self._scheduler._live -= 1
 
 
 class Simulator:
@@ -46,6 +56,11 @@ class Simulator:
         self._sequence = itertools.count()
         self._now = 0.0
         self._processed = 0
+        # Live (scheduled, not yet run or cancelled) event count, kept
+        # in sync on push/pop/cancel so pending() is O(1) — transport
+        # timers poll it per packet, and an O(n) heap scan there turns
+        # the event loop quadratic.
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -65,8 +80,9 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self._now + delay, next(self._sequence), callback)
+        event = Event(self._now + delay, next(self._sequence), callback, _scheduler=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> Event:
@@ -96,6 +112,8 @@ class Simulator:
                 self._now = until
                 break
             self._now = event.time
+            event._done = True
+            self._live -= 1
             event.callback()
             self._processed += 1
             executed += 1
@@ -111,5 +129,5 @@ class Simulator:
         return self._heap[0].time if self._heap else None
 
     def pending(self) -> int:
-        """Number of live events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live events still queued (O(1) — see ``_live``)."""
+        return self._live

@@ -1,6 +1,15 @@
 """Wire substrate: bit packing, headers, packets, and trim policies."""
 
-from .bitpack import pack_bits, pack_signs, packed_size, unpack_bits, unpack_signs
+from .bitpack import (
+    PackedSegments,
+    pack_bits,
+    pack_segments,
+    pack_signs,
+    packed_size,
+    unpack_batch,
+    unpack_bits,
+    unpack_signs,
+)
 from .header import (
     ETHERNET_HEADER_BYTES,
     FLAG_METADATA,
@@ -22,9 +31,12 @@ from .trim import (
 )
 
 __all__ = [
+    "PackedSegments",
     "pack_bits",
+    "pack_segments",
     "pack_signs",
     "packed_size",
+    "unpack_batch",
     "unpack_bits",
     "unpack_signs",
     "ETHERNET_HEADER_BYTES",

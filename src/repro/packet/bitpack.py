@@ -4,9 +4,31 @@ The trimmable layout (paper Section 2) stores one ``P``-bit head per
 coordinate densely at the front of the payload.  This module packs and
 unpacks arrays of small unsigned integers to/from bytes, MSB-first within
 each byte (network order), for any ``1 <= bits <= 32``.
+
+Two layers are exposed:
+
+* the scalar-plane API (:func:`pack_bits` / :func:`unpack_bits`) packs one
+  flat array.  Widths ``1``, ``8``, ``16`` and ``32`` take dedicated fast
+  paths (``np.packbits`` on the raw values, or big-endian byte/word views)
+  instead of the generic per-bit expansion, which costs an 8–64×
+  intermediate blowup.
+* the whole-message API (:func:`pack_segments` / :func:`unpack_batch`)
+  packs or unpacks *every packet of a message in one numpy call*.
+  :func:`pack_segments` splits a plane into byte-aligned per-packet
+  segments inside one contiguous buffer so the packetizer can slice
+  zero-copy payload views; :func:`unpack_batch` inverts a batch of
+  same-geometry packet bodies at once.
+
+The generic per-bit path is kept (``_pack_bits_generic`` /
+``_unpack_bits_generic``) both as the fallback for odd widths and as the
+reference implementation the property tests compare the fast paths
+against, byte for byte.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -16,7 +38,15 @@ __all__ = [
     "unpack_bits",
     "pack_signs",
     "unpack_signs",
+    "PackedSegments",
+    "pack_segments",
+    "unpack_batch",
 ]
+
+#: Bit widths with a dedicated vectorized fast path.
+FAST_WIDTHS = (1, 8, 16, 32)
+
+ByteLike = Union[bytes, bytearray, memoryview]
 
 
 def packed_size(count: int, bits: int) -> int:
@@ -32,6 +62,79 @@ def _check_bits(bits: int) -> None:
         raise ValueError(f"bits must be in [1, 32], got {bits}")
 
 
+def _check_range(values: np.ndarray, bits: int) -> None:
+    if values.size and int(values.max()) >= (1 << bits):
+        raise ValueError(f"value {int(values.max())} does not fit in {bits} bits")
+
+
+# -- batched row kernels ------------------------------------------------------
+#
+# Everything below funnels through these two: pack/unpack a (rows, count)
+# matrix where every row is packed independently to a byte boundary.  A
+# single flat array is the rows=1 case; a message's packets are the rows.
+
+
+def _pack_rows(values: np.ndarray, bits: int) -> np.ndarray:
+    """Pack a ``(rows, count)`` uint matrix row-by-row into packed bytes.
+
+    Returns a ``(rows, packed_size(count, bits))`` uint8 matrix; each row
+    is byte-aligned independently (trailing pad bits are zero).
+    """
+    rows, count = values.shape
+    if count == 0:
+        return np.zeros((rows, 0), dtype=np.uint8)
+    if bits == 1:
+        return np.packbits(values.astype(np.uint8), axis=1)
+    if bits == 8:
+        return values.astype(np.uint8)
+    if bits == 16:
+        return np.ascontiguousarray(values.astype(">u2")).view(np.uint8).reshape(rows, 2 * count)
+    if bits == 32:
+        return np.ascontiguousarray(values.astype(">u4")).view(np.uint8).reshape(rows, 4 * count)
+    # Generic width: stay in the byte domain.  View each value as 4
+    # big-endian bytes, explode to a (rows, count, 32) bit matrix with one
+    # C-level unpackbits, keep each value's low `bits` bits (MSB-first),
+    # and re-pack the concatenated stream.  Peak intermediate is 32 bits
+    # per value — the uint64 shift-and-mask formulation costs 8x more and
+    # falls out of cache for whole-message inputs.
+    be = np.ascontiguousarray(values.astype(">u4")).view(np.uint8).reshape(rows, count, 4)
+    slots = np.unpackbits(be, axis=2)
+    stream = np.ascontiguousarray(slots[:, :, 32 - bits :])
+    return np.packbits(stream.reshape(rows, count * bits), axis=1)
+
+
+def _unpack_rows(data: np.ndarray, count: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`_pack_rows`: ``(rows, bytes)`` -> ``(rows, count)``.
+
+    ``data`` may carry trailing bytes beyond the packed width; they are
+    ignored.  Returns uint32 values.
+    """
+    rows = data.shape[0]
+    if count == 0:
+        return np.zeros((rows, 0), dtype=np.uint32)
+    if bits == 1:
+        return np.unpackbits(data, axis=1)[:, :count].astype(np.uint32)
+    if bits == 8:
+        return data[:, :count].astype(np.uint32)
+    if bits == 16:
+        raw = np.ascontiguousarray(data[:, : 2 * count])
+        return raw.view(">u2").reshape(rows, count).astype(np.uint32)
+    if bits == 32:
+        raw = np.ascontiguousarray(data[:, : 4 * count])
+        return raw.view(">u4").reshape(rows, count).astype(np.uint32)
+    # Generic width, inverse of the byte-domain packer: left-pad each
+    # value's bit run into a 32-bit slot, re-pack to 4 big-endian bytes
+    # per value, and view as uint32 — no per-bit integer arithmetic.
+    bitstream = np.unpackbits(np.ascontiguousarray(data[:, : packed_size(count, bits)]), axis=1)
+    slots = np.zeros((rows, count, 32), dtype=np.uint8)
+    slots[:, :, 32 - bits :] = bitstream[:, : count * bits].reshape(rows, count, bits)
+    by = np.packbits(slots.reshape(rows, count * 32), axis=1)
+    return by.view(">u4").reshape(rows, count).astype(np.uint32)
+
+
+# -- scalar-plane API ---------------------------------------------------------
+
+
 def pack_bits(values: np.ndarray, bits: int) -> bytes:
     """Pack unsigned integers of width ``bits`` into bytes, MSB-first.
 
@@ -39,18 +142,13 @@ def pack_bits(values: np.ndarray, bits: int) -> bytes:
     """
     _check_bits(bits)
     values = np.asarray(values, dtype=np.uint64).reshape(-1)
-    if values.size and int(values.max()) >= (1 << bits):
-        raise ValueError(f"value {int(values.max())} does not fit in {bits} bits")
+    _check_range(values, bits)
     if values.size == 0:
         return b""
-    # Expand each value into its `bits` bits (MSB first), then let numpy
-    # pack the flat bit-stream into bytes.
-    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
-    bitstream = ((values[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
-    return np.packbits(bitstream.reshape(-1)).tobytes()
+    return _pack_rows(values.reshape(1, -1), bits).tobytes()
 
 
-def unpack_bits(data: bytes, count: int, bits: int) -> np.ndarray:
+def unpack_bits(data: ByteLike, count: int, bits: int) -> np.ndarray:
     """Inverse of :func:`pack_bits`; returns ``count`` values as uint32."""
     _check_bits(bits)
     need = packed_size(count, bits)
@@ -58,11 +156,136 @@ def unpack_bits(data: bytes, count: int, bits: int) -> np.ndarray:
         raise ValueError(f"need {need} bytes to unpack {count}x{bits}-bit, got {len(data)}")
     if count == 0:
         return np.zeros(0, dtype=np.uint32)
-    bitstream = np.unpackbits(np.frombuffer(data[:need], dtype=np.uint8))
-    bitstream = bitstream[: count * bits].reshape(count, bits).astype(np.uint64)
+    raw = np.frombuffer(data, dtype=np.uint8, count=need).reshape(1, need)
+    return _unpack_rows(raw, count, bits)[0]
+
+
+def _pack_bits_generic(values: np.ndarray, bits: int) -> bytes:
+    """Reference per-bit-expansion packer (any width; slow but simple)."""
+    _check_bits(bits)
+    values = np.asarray(values, dtype=np.uint64).reshape(-1)
+    _check_range(values, bits)
+    if values.size == 0:
+        return b""
     shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
-    values = (bitstream << shifts).sum(axis=1)
+    bitstream = ((values[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bitstream.reshape(-1)).tobytes()
+
+
+def _unpack_bits_generic(data: ByteLike, count: int, bits: int) -> np.ndarray:
+    """Reference per-bit-expansion unpacker (inverse of the generic packer)."""
+    _check_bits(bits)
+    need = packed_size(count, bits)
+    if len(data) < need:
+        raise ValueError(f"need {need} bytes to unpack {count}x{bits}-bit, got {len(data)}")
+    if count == 0:
+        return np.zeros(0, dtype=np.uint32)
+    bitstream = np.unpackbits(np.frombuffer(data, dtype=np.uint8, count=need))
+    stream = bitstream[: count * bits].reshape(count, bits).astype(np.uint64)
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
+    values = (stream << shifts).sum(axis=1)
     return values.astype(np.uint32)
+
+
+# -- whole-message API --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PackedSegments:
+    """One bit plane packed as byte-aligned per-packet segments.
+
+    Attributes:
+        buffer: the contiguous packed plane.  Segment ``i`` starts at byte
+            ``i * seg_bytes``; the final (possibly partial) segment is
+            shorter, and any bytes past it are zero padding.
+        bits: value width the plane was packed with.
+        segment_len: coordinates per full segment.
+        total: total number of packed coordinates.
+    """
+
+    buffer: bytes
+    bits: int
+    segment_len: int
+    total: int
+
+    @property
+    def seg_bytes(self) -> int:
+        """Packed bytes of one full segment."""
+        return packed_size(self.segment_len, self.bits)
+
+    @property
+    def num_segments(self) -> int:
+        """Number of segments (the last one may be partial)."""
+        if self.total == 0:
+            return 0
+        return -(-self.total // self.segment_len)
+
+    def segment_count(self, i: int) -> int:
+        """Coordinates carried by segment ``i``."""
+        if not 0 <= i < self.num_segments:
+            raise IndexError(f"segment {i} out of range [0, {self.num_segments})")
+        return min(self.segment_len, self.total - i * self.segment_len)
+
+    def segment(self, i: int) -> memoryview:
+        """Zero-copy view of segment ``i``'s packed bytes."""
+        start = i * self.seg_bytes
+        return memoryview(self.buffer)[start : start + packed_size(self.segment_count(i), self.bits)]
+
+
+def pack_segments(values: np.ndarray, bits: int, segment_len: int) -> PackedSegments:
+    """Pack a whole plane into byte-aligned per-packet segments at once.
+
+    Equivalent to calling :func:`pack_bits` on every ``segment_len`` slice
+    of ``values`` but performed in a single batched numpy call: the values
+    are padded to a whole number of segments (zero pad bits are invisible
+    in the per-segment views) and packed as a matrix.
+    """
+    _check_bits(bits)
+    if segment_len <= 0:
+        raise ValueError(f"segment_len must be positive, got {segment_len}")
+    values = np.asarray(values, dtype=np.uint64).reshape(-1)
+    _check_range(values, bits)
+    total = values.size
+    if total == 0:
+        return PackedSegments(buffer=b"", bits=bits, segment_len=segment_len, total=0)
+    num_segments = -(-total // segment_len)
+    if total < num_segments * segment_len:
+        padded = np.zeros(num_segments * segment_len, dtype=np.uint64)
+        padded[:total] = values
+        values = padded
+    packed = _pack_rows(values.reshape(num_segments, segment_len), bits)
+    return PackedSegments(
+        buffer=packed.tobytes(), bits=bits, segment_len=segment_len, total=total
+    )
+
+
+def unpack_batch(chunks: Sequence[ByteLike], count: int, bits: int) -> np.ndarray:
+    """Unpack many same-geometry packed planes in one batched call.
+
+    Every chunk must hold exactly ``packed_size(count, bits)`` bytes (the
+    packed plane of one packet).  Returns a ``(len(chunks), count)``
+    uint32 matrix.  This is the receive-side twin of
+    :func:`pack_segments`: ``depacketize`` groups arrived packets by
+    geometry and inverts each group here instead of per packet.
+    """
+    _check_bits(bits)
+    need = packed_size(count, bits)
+    for chunk in chunks:
+        if len(chunk) != need:
+            raise ValueError(
+                f"need exactly {need} bytes per chunk to unpack {count}x{bits}-bit, "
+                f"got {len(chunk)}"
+            )
+    if not chunks:
+        return np.zeros((0, count), dtype=np.uint32)
+    if count == 0:
+        return np.zeros((len(chunks), 0), dtype=np.uint32)
+    data = b"".join(chunks)  # bytes.join accepts any buffer, memoryviews included
+    raw = np.frombuffer(data, dtype=np.uint8).reshape(len(chunks), need)
+    return _unpack_rows(raw, count, bits)
+
+
+# -- sign helpers -------------------------------------------------------------
 
 
 def pack_signs(signs: np.ndarray) -> bytes:
@@ -72,7 +295,7 @@ def pack_signs(signs: np.ndarray) -> bytes:
     return pack_bits(bits, 1)
 
 
-def unpack_signs(data: bytes, count: int) -> np.ndarray:
+def unpack_signs(data: ByteLike, count: int) -> np.ndarray:
     """Inverse of :func:`pack_signs`; returns a float64 ±1 array."""
     bits = unpack_bits(data, count, 1)
     return bits.astype(np.float64) * 2.0 - 1.0

@@ -107,8 +107,32 @@ class GradientHeader:
             self.seed,
         )
 
+    def pack_into(self, buffer: "bytearray | memoryview", offset: int = 0) -> None:
+        """Serialize directly into ``buffer`` at ``offset`` (no allocation).
+
+        Uses the module's precompiled :class:`struct.Struct`; the hot
+        packetizer path writes every header straight into the message's
+        single wire buffer instead of concatenating 32-byte strings.
+        """
+        _STRUCT.pack_into(
+            buffer,
+            offset,
+            MAGIC,
+            self.version,
+            self.flags,
+            self.codec_id,
+            self.head_bits,
+            self.tail_bits,
+            self.message_id,
+            self.epoch,
+            self.chunk_index,
+            self.coord_offset,
+            self.coord_count,
+            self.seed,
+        )
+
     @classmethod
-    def from_bytes(cls, data: bytes) -> "GradientHeader":
+    def from_bytes(cls, data: "bytes | bytearray | memoryview") -> "GradientHeader":
         """Parse a header; raises ``ValueError`` on bad magic or short input."""
         if len(data) < GRADIENT_HEADER_BYTES:
             raise ValueError(

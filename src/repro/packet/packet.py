@@ -32,8 +32,12 @@ class Packet:
     Attributes:
         src: source host name.
         dst: destination host name.
-        payload: application payload bytes (starts with the gradient
-            header when ``grad_header`` is set).
+        payload: application payload (starts with the gradient header
+            when ``grad_header`` is set).  Either owned ``bytes`` or a
+            read-only ``memoryview`` into a shared message buffer — the
+            packetizer emits zero-copy views; :meth:`trim` always
+            produces owned bytes (see docs/performance.md for the
+            ownership invariants).
         grad_header: parsed gradient header, if this is gradient traffic.
         priority: queueing priority; 0 = normal, higher = more urgent
             (trimmed headers travel at priority 1, like NDP).
@@ -62,7 +66,7 @@ class Packet:
 
     src: str
     dst: str
-    payload: bytes = b""
+    payload: "bytes | memoryview" = b""
     grad_header: Optional[GradientHeader] = None
     priority: int = 0
     flow_id: int = 0
@@ -135,7 +139,11 @@ class Packet:
             raise ValueError(f"packet {self.packet_id} is not trimmable")
         assert self.grad_header is not None
         new_header = self.grad_header.with_flags(FLAG_TRIMMED)
-        new_payload = new_header.to_bytes() + self.payload[GRADIENT_HEADER_BYTES:keep]
+        # join (not +) so a zero-copy memoryview payload concatenates too;
+        # the trimmed twin always owns its (small) remnant payload.
+        new_payload = b"".join(
+            (new_header.to_bytes(), self.payload[GRADIENT_HEADER_BYTES:keep])
+        )
         return replace(
             self,
             payload=new_payload,

@@ -148,7 +148,11 @@ def trim_to_bits(
         tail_bits=total_bits - keep_bits,
         flags=hdr.flags | FLAG_TRIMMED,
     )
-    new_payload = new_header.to_bytes() + packet.payload[GRADIENT_HEADER_BYTES:keep_payload]
+    # join (not +) so zero-copy memoryview payloads concatenate; the
+    # trimmed packet owns its remnant payload (see docs/performance.md).
+    new_payload = b"".join(
+        (new_header.to_bytes(), packet.payload[GRADIENT_HEADER_BYTES:keep_payload])
+    )
     # Re-seal over the remnant payload, as Packet.trim does — a stale
     # checksum would make receivers mistake the trim for corruption.
     import zlib

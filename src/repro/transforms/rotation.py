@@ -19,6 +19,7 @@ length travels with the metadata so the receiver can truncate.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -28,10 +29,28 @@ from .prng import shared_generator
 __all__ = ["random_signs", "rht", "irht", "RotatedRows", "rotate_rows", "unrotate_rows"]
 
 
-def random_signs(d: int, seed: int) -> np.ndarray:
-    """Deterministic ±1 diagonal of length ``d`` for seed ``seed``."""
+@lru_cache(maxsize=64)
+def _cached_signs(d: int, seed: int) -> np.ndarray:
+    """Frozen ±1 diagonal for ``(d, seed)``.
+
+    Encode and decode of the same message rebuild the identical diagonal
+    from the shared seed; caching it (read-only, so a hit can be used
+    in-place safely) halves the PRNG work per round trip and serves
+    repeated decodes (e.g. an all-reduce fan-in) for free.
+    """
     gen = shared_generator(seed, purpose="rotation")
-    return gen.integers(0, 2, size=d).astype(np.float64) * 2.0 - 1.0
+    signs = gen.integers(0, 2, size=d).astype(np.float64) * 2.0 - 1.0
+    signs.setflags(write=False)
+    return signs
+
+
+def random_signs(d: int, seed: int) -> np.ndarray:
+    """Deterministic ±1 diagonal of length ``d`` for seed ``seed``.
+
+    The returned array is cached and marked read-only; copy before
+    mutating.
+    """
+    return _cached_signs(d, seed)
 
 
 def rht(x: np.ndarray, seed: int) -> np.ndarray:
@@ -87,27 +106,31 @@ def rotate_rows(flat: np.ndarray, row_size: int, seed: int) -> RotatedRows:
 
     The final partial row is zero-padded to ``row_size``.
     """
-    if not is_power_of_two(row_size):
-        raise ValueError(f"row_size must be a power of two, got {row_size}")
     flat = np.asarray(flat, dtype=np.float64).reshape(-1)
     n = flat.size
     if n == 0:
         raise ValueError("cannot rotate an empty vector")
-    # Short blobs use a single row padded to the next power of two, so tiny
-    # layers do not pay for a full row_size transform.
-    if n < row_size:
-        width = next_power_of_two(n)
-        padded = np.zeros(width, dtype=np.float64)
-        padded[:n] = flat
-        rows = padded.reshape(1, width)
-    else:
-        width = row_size
-        num_rows = -(-n // width)  # ceil division
-        padded = np.zeros(num_rows * width, dtype=np.float64)
-        padded[:n] = flat
-        rows = padded.reshape(num_rows, width)
+    width, num_rows = _row_plan(n, row_size)
+    padded = np.zeros(num_rows * width, dtype=np.float64)
+    padded[:n] = flat
+    rows = padded.reshape(num_rows, width)
     rotated = rht(rows, seed)
     return RotatedRows(rows=rotated, original_length=n, row_size=width, seed=seed)
+
+
+@lru_cache(maxsize=256)
+def _row_plan(n: int, row_size: int) -> tuple[int, int]:
+    """Cached (row width, row count) plan for an ``n``-coordinate blob.
+
+    Short blobs use a single row padded to the next power of two, so tiny
+    layers do not pay for a full ``row_size`` transform.  The plan is
+    recomputed every step for every layer of the model, hence the cache.
+    """
+    if not is_power_of_two(row_size):
+        raise ValueError(f"row_size must be a power of two, got {row_size}")
+    if n < row_size:
+        return next_power_of_two(n), 1
+    return row_size, -(-n // row_size)  # ceil division
 
 
 def unrotate_rows(rotated: RotatedRows) -> np.ndarray:

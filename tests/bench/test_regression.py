@@ -1,0 +1,192 @@
+"""Tests for the benchmark-regression gate (`repro-bench --compare`)."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.regression import (
+    DEFAULT_THRESHOLD,
+    MetricComparison,
+    compare_files,
+    compare_results,
+    format_comparisons,
+    load_results,
+    update_baseline,
+)
+
+
+def write_results(path, records):
+    path.write_text(json.dumps(records, indent=2) + "\n")
+    return path
+
+
+BASELINE = [
+    {
+        "experiment_id": "perf codec pipeline",
+        "encode_coords_per_s": 1_000_000.0,
+        "decode_coords_per_s": 2_000_000.0,
+        "coords": 65536,  # informational, must not gate
+    },
+    {"experiment_id": "F2 layout", "trim_pct": 94.1},
+]
+
+
+class TestLoadResults:
+    def test_keyed_by_experiment_id(self, tmp_path):
+        path = write_results(tmp_path / "r.json", BASELINE)
+        loaded = load_results(path)
+        assert set(loaded) == {"perf codec pipeline", "F2 layout"}
+
+    def test_rejects_non_list(self, tmp_path):
+        path = write_results(tmp_path / "r.json", {"not": "a list"})
+        with pytest.raises(ValueError, match="JSON list"):
+            load_results(path)
+
+    def test_rejects_record_without_id(self, tmp_path):
+        path = write_results(tmp_path / "r.json", [{"x_per_s": 1.0}])
+        with pytest.raises(ValueError, match="experiment_id"):
+            load_results(path)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_results(tmp_path / "nope.json")
+
+
+class TestCompareResults:
+    def _by_id(self, records):
+        return {r["experiment_id"]: r for r in records}
+
+    def test_only_per_s_metrics_gate(self):
+        comps = compare_results(self._by_id(BASELINE), self._by_id(BASELINE))
+        assert {c.metric for c in comps} == {
+            "encode_coords_per_s",
+            "decode_coords_per_s",
+        }
+        assert all(not c.regressed and c.ratio == 1.0 for c in comps)
+
+    def test_regression_beyond_threshold_flags(self):
+        current = self._by_id(json.loads(json.dumps(BASELINE)))
+        current["perf codec pipeline"]["encode_coords_per_s"] = 600_000.0  # -40%
+        comps = compare_results(current, self._by_id(BASELINE), threshold=0.30)
+        flagged = {c.metric: c.regressed for c in comps}
+        assert flagged == {"encode_coords_per_s": True, "decode_coords_per_s": False}
+
+    def test_drop_within_threshold_passes(self):
+        current = self._by_id(json.loads(json.dumps(BASELINE)))
+        current["perf codec pipeline"]["encode_coords_per_s"] = 750_000.0  # -25%
+        comps = compare_results(current, self._by_id(BASELINE), threshold=0.30)
+        assert not any(c.regressed for c in comps)
+
+    def test_improvement_never_flags(self):
+        current = self._by_id(json.loads(json.dumps(BASELINE)))
+        current["perf codec pipeline"]["encode_coords_per_s"] = 9e9
+        comps = compare_results(current, self._by_id(BASELINE))
+        assert not any(c.regressed for c in comps)
+
+    def test_empty_intersection_fails_loudly(self):
+        with pytest.raises(ValueError, match="no experiments in common"):
+            compare_results({"a": {"experiment_id": "a"}}, self._by_id(BASELINE))
+
+    @pytest.mark.parametrize("threshold", [-0.1, 1.0, 2.0])
+    def test_threshold_range_validated(self, threshold):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_results(
+                self._by_id(BASELINE), self._by_id(BASELINE), threshold=threshold
+            )
+
+    def test_zero_baseline_never_regresses(self):
+        base = {"e": {"experiment_id": "e", "x_per_s": 0.0}}
+        cur = {"e": {"experiment_id": "e", "x_per_s": 0.0}}
+        (comp,) = compare_results(cur, base)
+        assert not comp.regressed and comp.ratio == float("inf")
+
+    def test_format_renders_verdicts(self):
+        comps = [
+            MetricComparison("e", "x_per_s", 100.0, 50.0, True),
+            MetricComparison("e", "y_per_s", 100.0, 100.0, False),
+        ]
+        table = format_comparisons(comps)
+        assert "REGRESSED" in table and "ok" in table and "0.50x" in table
+
+
+class TestUpdateBaseline:
+    def test_merge_preserves_absent_records(self, tmp_path):
+        path = write_results(tmp_path / "b.json", BASELINE)
+        update_baseline(
+            path,
+            {"perf codec pipeline": {"experiment_id": "perf codec pipeline", "encode_coords_per_s": 5.0}},
+        )
+        merged = load_results(path)
+        # The perf record is replaced; the figure record survives.
+        assert merged["perf codec pipeline"]["encode_coords_per_s"] == 5.0
+        assert merged["F2 layout"]["trim_pct"] == 94.1
+
+    def test_creates_missing_baseline(self, tmp_path):
+        path = tmp_path / "new.json"
+        update_baseline(path, {"e": {"experiment_id": "e", "x_per_s": 1.0}})
+        assert load_results(path)["e"]["x_per_s"] == 1.0
+
+
+class TestCompareCLI:
+    def _files(self, tmp_path, current_records):
+        baseline = write_results(tmp_path / "baseline.json", BASELINE)
+        current = write_results(tmp_path / "current.json", current_records)
+        return baseline, current
+
+    def test_clean_compare_exits_zero(self, tmp_path):
+        baseline, current = self._files(tmp_path, BASELINE)
+        assert (
+            main(["--compare", "--baseline", str(baseline), "--current", str(current)])
+            == 0
+        )
+
+    def test_regression_exits_one(self, tmp_path):
+        bad = json.loads(json.dumps(BASELINE))
+        bad[0]["encode_coords_per_s"] = 1.0
+        baseline, current = self._files(tmp_path, bad)
+        assert (
+            main(["--compare", "--baseline", str(baseline), "--current", str(current)])
+            == 1
+        )
+
+    def test_missing_current_exits_two(self, tmp_path):
+        baseline = write_results(tmp_path / "baseline.json", BASELINE)
+        assert (
+            main(
+                [
+                    "--compare",
+                    "--baseline",
+                    str(baseline),
+                    "--current",
+                    str(tmp_path / "absent.json"),
+                ]
+            )
+            == 2
+        )
+
+    def test_update_baseline_blesses_regression(self, tmp_path):
+        bad = json.loads(json.dumps(BASELINE))
+        bad[0]["encode_coords_per_s"] = 1.0
+        baseline, current = self._files(tmp_path, bad)
+        argv = ["--compare", "--baseline", str(baseline), "--current", str(current)]
+        assert main(argv + ["--update-baseline"]) == 0
+        assert main(argv) == 0  # the bad number is now the baseline
+        assert load_results(baseline)["perf codec pipeline"]["encode_coords_per_s"] == 1.0
+
+    def test_threshold_flag_applies(self, tmp_path):
+        softer = json.loads(json.dumps(BASELINE))
+        softer[0]["encode_coords_per_s"] = 650_000.0  # -35%
+        baseline, current = self._files(tmp_path, softer)
+        argv = ["--compare", "--baseline", str(baseline), "--current", str(current)]
+        assert main(argv) == 1
+        assert main(argv + ["--threshold", "0.5"]) == 0
+
+    def test_no_experiment_and_no_compare_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_compare_files_wrapper(self, tmp_path):
+        baseline, current = self._files(tmp_path, BASELINE)
+        comps = compare_files(current, baseline, threshold=DEFAULT_THRESHOLD)
+        assert len(comps) == 2 and not any(c.regressed for c in comps)

@@ -125,3 +125,66 @@ class TestCancellation:
 
     def test_peek_time_empty(self):
         assert Simulator().peek_time() is None
+
+
+class TestPendingCounter:
+    """pending() is a live counter (O(1)), not a heap scan — it must stay
+    exact across every push/pop/cancel interleaving."""
+
+    def test_counts_scheduled_events(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.pending() == 5
+
+    def test_decrements_as_events_run(self):
+        sim = Simulator()
+        observed = []
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda: observed.append(sim.pending()))
+        sim.run()
+        # Each callback sees the events still queued after it was popped.
+        assert observed == [2, 1, 0]
+
+    def test_double_cancel_is_single_decrement(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        victim = sim.schedule(2.0, lambda: None)
+        victim.cancel()
+        victim.cancel()
+        assert sim.pending() == 1
+
+    def test_cancel_after_run_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        assert sim.pending() == 1
+        event.cancel()  # already executed; must not corrupt the counter
+        assert sim.pending() == 1
+
+    def test_cancel_inside_callback(self):
+        sim = Simulator()
+        later = sim.schedule(2.0, lambda: None)
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert sim.pending() == 0
+        assert sim.events_processed == 1
+
+    def test_reschedule_from_callback_keeps_count(self):
+        sim = Simulator()
+        def chain(depth):
+            if depth:
+                sim.schedule(1.0, lambda: chain(depth - 1))
+        sim.schedule(1.0, lambda: chain(3))
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_counter_matches_heap_truth(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(20)]
+        for event in events[::3]:
+            event.cancel()
+        live_truth = sum(1 for e in sim._heap if not e.cancelled)
+        assert sim.pending() == live_truth

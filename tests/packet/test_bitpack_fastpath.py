@@ -1,0 +1,148 @@
+"""Fast-path vs. reference equivalence for the vectorized bit packing.
+
+The PR-4 fast paths (``np.packbits`` / big-endian views / byte-domain
+generic kernel) must be *byte-identical* to the original per-bit
+expansion implementation, which is kept in the module as
+``_pack_bits_generic`` / ``_unpack_bits_generic`` precisely so these
+tests can compare against it.  Hypothesis sweeps every width 1–32,
+including each dedicated fast width, plus the whole-message
+``pack_segments`` / ``unpack_batch`` layer.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packet import (
+    pack_bits,
+    pack_segments,
+    packed_size,
+    unpack_batch,
+    unpack_bits,
+)
+from repro.packet.bitpack import (
+    FAST_WIDTHS,
+    _pack_bits_generic,
+    _unpack_bits_generic,
+)
+
+
+@st.composite
+def values_with_width(draw, widths=st.integers(min_value=1, max_value=32)):
+    """(values, bits): arbitrary width with in-range values."""
+    bits = draw(widths)
+    count = draw(st.integers(min_value=0, max_value=300))
+    top = (1 << bits) - 1
+    values = draw(
+        st.lists(st.integers(min_value=0, max_value=top), min_size=count, max_size=count)
+    )
+    return np.array(values, dtype=np.uint32), bits
+
+
+class TestFastPathMatchesReference:
+    @given(values_with_width())
+    @settings(max_examples=300, deadline=None)
+    def test_pack_bits_byte_identical(self, case):
+        values, bits = case
+        assert pack_bits(values, bits) == _pack_bits_generic(values, bits)
+
+    @given(values_with_width())
+    @settings(max_examples=300, deadline=None)
+    def test_unpack_bits_matches_reference(self, case):
+        values, bits = case
+        packed = _pack_bits_generic(values, bits)
+        fast = unpack_bits(packed, values.size, bits)
+        reference = _unpack_bits_generic(packed, values.size, bits)
+        assert np.array_equal(fast, reference)
+        assert fast.dtype == reference.dtype == np.uint32
+
+    @given(values_with_width(widths=st.sampled_from(FAST_WIDTHS)))
+    @settings(max_examples=200, deadline=None)
+    def test_dedicated_widths_round_trip_through_either_path(self, case):
+        """Mix-and-match: fast pack -> reference unpack and vice versa."""
+        values, bits = case
+        fast_packed = pack_bits(values, bits)
+        assert np.array_equal(
+            _unpack_bits_generic(fast_packed, values.size, bits), values
+        )
+        assert np.array_equal(
+            unpack_bits(_pack_bits_generic(values, bits), values.size, bits), values
+        )
+
+    @pytest.mark.parametrize("bits", range(1, 33))
+    def test_extreme_values_every_width(self, bits):
+        """Boundary patterns (all zeros, all ones, alternating) per width."""
+        top = (1 << bits) - 1
+        values = np.array([0, top, 0, top, top, 0, 1 % (top + 1)], dtype=np.uint32)
+        assert pack_bits(values, bits) == _pack_bits_generic(values, bits)
+        packed = pack_bits(values, bits)
+        assert np.array_equal(unpack_bits(packed, values.size, bits), values)
+
+
+class TestPackSegmentsEquivalence:
+    @given(
+        values_with_width(),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_segments_match_per_slice_pack_bits(self, case, segment_len):
+        """Each segment's bytes equal pack_bits of the matching slice."""
+        values, bits = case
+        plane = pack_segments(values, bits, segment_len)
+        assert plane.num_segments == -(-values.size // segment_len) if values.size else True
+        for i in range(plane.num_segments):
+            lo = i * segment_len
+            piece = values[lo : lo + segment_len]
+            assert bytes(plane.segment(i)) == pack_bits(piece, bits)
+            assert plane.segment_count(i) == piece.size
+
+    @given(
+        values_with_width(),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_unpack_batch_inverts_full_segments(self, case, segment_len):
+        values, bits = case
+        plane = pack_segments(values, bits, segment_len)
+        full = [
+            plane.segment(i)
+            for i in range(plane.num_segments)
+            if plane.segment_count(i) == segment_len
+        ]
+        if not full:
+            return
+        matrix = unpack_batch(full, segment_len, bits)
+        assert matrix.shape == (len(full), segment_len)
+        expected = values[: len(full) * segment_len].reshape(len(full), segment_len)
+        assert np.array_equal(matrix, expected)
+
+    def test_unpack_batch_rejects_ragged_chunks(self):
+        values = np.arange(16, dtype=np.uint32) % 2
+        plane = pack_segments(values, 1, 8)
+        good = bytes(plane.segment(0))
+        with pytest.raises(ValueError, match="exactly"):
+            unpack_batch([good, good[:-1] + b""], 8, 1)
+
+    def test_unpack_batch_accepts_memoryviews(self):
+        values = np.arange(24, dtype=np.uint32) % 8
+        plane = pack_segments(values, 3, 8)
+        chunks = [plane.segment(i) for i in range(plane.num_segments)]
+        assert all(isinstance(c, memoryview) for c in chunks)
+        matrix = unpack_batch(chunks, 8, 3)
+        assert np.array_equal(matrix.reshape(-1), values)
+
+    def test_empty_plane(self):
+        plane = pack_segments(np.zeros(0, dtype=np.uint32), 5, 10)
+        assert plane.num_segments == 0
+        assert plane.buffer == b""
+        assert unpack_batch([], 10, 5).shape == (0, 10)
+
+    @pytest.mark.parametrize("bits", range(1, 33))
+    def test_partial_final_segment_zero_pad_is_invisible(self, bits):
+        """The padded final segment's bytes equal packing the short slice."""
+        top = (1 << bits) - 1
+        values = (np.arange(19, dtype=np.uint64) * 7919 % (top + 1)).astype(np.uint32)
+        plane = pack_segments(values, bits, 8)
+        last = plane.num_segments - 1
+        assert bytes(plane.segment(last)) == pack_bits(values[last * 8 :], bits)
