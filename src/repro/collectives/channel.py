@@ -92,6 +92,34 @@ class GradientChannel:
 
     def __init__(self) -> None:
         self.stats = ChannelStats()
+        # Live counters: surrender/drop events are rare but operationally
+        # critical, so they stream to the registry as they happen instead
+        # of waiting for the per-epoch publish().
+        from ..obs.metrics import get_registry
+
+        registry = get_registry()
+        label = type(self).__name__
+        self._m_surrendered = registry.counter(
+            "repro_channel_rounds_surrendered_total",
+            "rounds the channel gave up on (zero-gradient degraded step)",
+            ("channel",),
+        ).bind(channel=label)
+        self._m_dropped = registry.counter(
+            "repro_channel_packets_dropped_total",
+            "data packets lost outright on the channel",
+            ("channel",),
+        ).bind(channel=label)
+
+    def count_surrender(self) -> None:
+        """Record one surrendered round (stats + live counter)."""
+        self.stats.rounds_surrendered += 1
+        self._m_surrendered.inc()
+
+    def count_dropped(self, packets: int) -> None:
+        """Record ``packets`` lost data packets (stats + live counter)."""
+        if packets:
+            self.stats.packets_dropped += packets
+            self._m_dropped.inc(packets)
 
     def transfer(
         self, flat: np.ndarray, *, epoch: int = 0, message_id: int = 0, worker: int = 0

@@ -17,7 +17,7 @@ therefore visible in the experiments.
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from .channel import ChannelStats, GradientChannel, PerfectChannel
 from .ring import allreduce_mean, ring_allreduce
+
+if TYPE_CHECKING:  # avoid a runtime collectives -> resilience cycle
+    from ..resilience.deadline import RoundDeadline
 
 __all__ = ["CommHook", "AllReduceHook", "RingAllReduceHook", "bucket_bounds"]
 
@@ -49,15 +52,20 @@ class CommHook:
         bucket_coords: DDP-style bucketing — split each gradient into
             buckets of this many coordinates, aggregated as independent
             messages (None = one message for the whole gradient).
+        deadline: optional :class:`~repro.resilience.RoundDeadline`
+            enabling partial aggregation over the round's responders
+            (the trainer also assigns this after construction).
     """
 
     def __init__(
         self,
         channel: Optional[GradientChannel] = None,
         bucket_coords: Optional[int] = None,
+        deadline: Optional["RoundDeadline"] = None,
     ) -> None:
         self.channel = channel or PerfectChannel()
         self.bucket_coords = bucket_coords
+        self.deadline = deadline
         self._message_counter = 0
         hook = type(self).__name__
         self._m_agg_seconds = get_registry().histogram(
@@ -79,6 +87,11 @@ class CommHook:
         """Aggregate per-worker gradients (instrumented template method)."""
         start = time.perf_counter()
         out = self._aggregate(grads, epoch)
+        # Error-feedback channels key residuals by in-round slot; tell
+        # them the round is over so the next one starts back at slot 0.
+        end_round = getattr(self.channel, "end_round", None)
+        if callable(end_round):
+            end_round()
         duration = time.perf_counter() - start
         self._m_agg_seconds.observe(duration)
         tracer = get_tracer()
@@ -110,7 +123,11 @@ class AllReduceHook(CommHook):
         spans = bucket_bounds(grads[0].size, self.bucket_coords)
         if len(spans) == 1:
             return allreduce_mean(
-                grads, self.channel, epoch=epoch, message_id=self.next_message_id()
+                grads,
+                self.channel,
+                epoch=epoch,
+                message_id=self.next_message_id(),
+                deadline=self.deadline,
             )
         out = np.empty(grads[0].size)
         for start, end in spans:
@@ -119,6 +136,7 @@ class AllReduceHook(CommHook):
                 self.channel,
                 epoch=epoch,
                 message_id=self.next_message_id(),
+                deadline=self.deadline,
             )
         return out
 
@@ -132,6 +150,10 @@ class RingAllReduceHook(CommHook):
 
     def _aggregate(self, grads: List[np.ndarray], epoch: int) -> np.ndarray:
         results = ring_allreduce(
-            grads, self.channel, epoch=epoch, message_id=self.next_message_id()
+            grads,
+            self.channel,
+            epoch=epoch,
+            message_id=self.next_message_id(),
+            deadline=self.deadline,
         )
         return results[0]

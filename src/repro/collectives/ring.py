@@ -16,11 +16,14 @@ and :func:`broadcast`.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
 from .channel import GradientChannel, PerfectChannel
+
+if TYPE_CHECKING:  # avoid a runtime collectives -> resilience cycle
+    from ..resilience.deadline import RoundDeadline
 
 __all__ = [
     "allreduce_mean",
@@ -48,13 +51,28 @@ def allreduce_mean(
     channel: Optional[GradientChannel] = None,
     epoch: int = 0,
     message_id: int = 0,
+    deadline: Optional["RoundDeadline"] = None,
 ) -> np.ndarray:
-    """Mean of all workers' vectors, each crossing the channel once."""
+    """Mean of all workers' vectors, each crossing the channel once.
+
+    With a ``deadline``, only the responders' vectors cross the channel
+    and the mean is rescaled over them — an unbiased estimator of the
+    responder mean; stragglers neither transfer nor stall the round.
+    An empty responder set surrenders the round (zero gradient).
+    """
     channel = channel or PerfectChannel()
     _check_same_shape(tensors)
+    ranks: Sequence[int] = range(len(tensors))
+    if deadline is not None:
+        ranks, _stragglers = deadline.split(list(ranks))
+        if not ranks:
+            channel.count_surrender()
+            return np.zeros(tensors[0].size)
     received = [
-        channel.transfer(t, epoch=epoch, message_id=message_id, worker=rank)
-        for rank, t in enumerate(tensors)
+        channel.transfer(
+            tensors[rank], epoch=epoch, message_id=message_id, worker=rank
+        )
+        for rank in ranks
     ]
     return np.mean(received, axis=0)
 
@@ -64,6 +82,8 @@ def ring_allreduce(
     channel: Optional[GradientChannel] = None,
     epoch: int = 0,
     message_id: int = 0,
+    deadline: Optional["RoundDeadline"] = None,
+    _ranks: Optional[Sequence[int]] = None,
 ) -> List[np.ndarray]:
     """Bandwidth-optimal ring all-reduce returning each rank's mean copy.
 
@@ -72,10 +92,36 @@ def ring_allreduce(
     it to its local accumulator; after N-1 steps each rank owns the full
     sum of one chunk.  The all-gather phase circulates the finished
     chunks.  Every hop crosses the channel (and may be compressed).
+
+    With a ``deadline``, the ring is rebuilt over the responders only
+    (the sub-ring's hops keep the original rank labels for the channel's
+    shared randomness) and every straggler slot receives the sub-ring's
+    consensus copy, so the returned list always has one entry per input.
     """
     channel = channel or PerfectChannel()
     length = _check_same_shape(tensors)
     world = len(tensors)
+    if deadline is not None:
+        responders, stragglers = deadline.split(list(range(world)))
+        if not responders:
+            channel.count_surrender()
+            return [np.zeros(length) for _ in range(world)]
+        if stragglers:
+            sub = ring_allreduce(
+                [tensors[r] for r in responders],
+                channel,
+                epoch=epoch,
+                message_id=message_id,
+                _ranks=responders,
+            )
+            outputs: List[np.ndarray] = []
+            by_rank = dict(zip(responders, sub))
+            for rank in range(world):
+                outputs.append(
+                    by_rank[rank] if rank in by_rank else sub[0].copy()
+                )
+            return outputs
+    labels = list(_ranks) if _ranks is not None else list(range(world))
     if world == 1:
         return [tensors[0].astype(np.float64)]
     bounds = np.linspace(0, length, world + 1).astype(int)
@@ -93,7 +139,10 @@ def ring_allreduce(
         for rank, c, payload in sends:
             peer = (rank + 1) % world
             delivered = channel.transfer(
-                payload, epoch=epoch, message_id=message_id * 1000 + hop, worker=rank
+                payload,
+                epoch=epoch,
+                message_id=message_id * 1000 + hop,
+                worker=labels[rank],
             )
             chunks[peer][c] = chunks[peer][c] + delivered
             hop += 1
@@ -106,7 +155,10 @@ def ring_allreduce(
         for rank, c, payload in sends:
             peer = (rank + 1) % world
             delivered = channel.transfer(
-                payload, epoch=epoch, message_id=message_id * 1000 + hop, worker=rank
+                payload,
+                epoch=epoch,
+                message_id=message_id * 1000 + hop,
+                worker=labels[rank],
             )
             chunks[peer][c] = delivered
             hop += 1

@@ -130,9 +130,11 @@ def run_scenario(
             deterministic.
         max_events: simulator safety valve — the no-livelock bound the
             invariant suite asserts against.
-        max_retries: per-packet retry budget override (None keeps the
-            transport default).
+        max_retries: per-packet retry budget override (None falls back
+            to ``scenario.max_retries``, then the transport default).
     """
+    if max_retries is None:
+        max_retries = scenario.max_retries
     net = dumbbell(
         pairs=scenario.pairs,
         edge_rate_bps=scenario.edge_rate_bps,

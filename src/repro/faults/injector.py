@@ -4,10 +4,13 @@
 and arms the network's existing seams:
 
 * per-packet faults (``corrupt``, ``ack-loss``, ``duplicate``,
-  ``reorder``) compose into one
+  ``reorder``, ``straggler``) compose into one
   :data:`~repro.net.link.DeliveryHook` per targeted link;
 * ``flap`` schedules ``Link.up`` transitions on the event loop;
-* ``blackout`` schedules :meth:`repro.net.switch.Switch.set_port_down`.
+* ``blackout`` schedules :meth:`repro.net.switch.Switch.set_port_down`;
+* worker-scoped kinds resolve ``worker:<rank>`` to host ``tx<rank>``:
+  ``crash`` takes both directions of the host's uplink down, and
+  ``straggler`` delays that host's outbound packets.
 
 Every random decision is drawn from a
 :func:`~repro.transforms.prng.shared_generator` stream keyed by
@@ -83,6 +86,10 @@ class FaultInjector:
                 self._install_flap(spec)
             elif spec.fault == "blackout":
                 self._install_blackout(spec)
+            elif spec.fault == "crash":
+                self._install_crash(spec)
+            elif spec.fault == "straggler":
+                self._install_straggler(spec, gen)
             else:
                 self._install_per_packet(spec, gen)
         for label, stages in self._hooked_links.items():
@@ -194,6 +201,60 @@ class FaultInjector:
         # The stale checksum travels with the mangled payload — that is
         # exactly how the receiver detects the corruption.
         return replace(packet, payload=bytes(buf))
+
+    # -- worker-scoped faults ---------------------------------------------------
+
+    def _worker_host(self, spec: FaultSpec):
+        """Resolve ``worker:<rank>`` to the sender host ``tx<rank>``."""
+        name = f"tx{spec.worker_rank}"
+        host = self.network.hosts.get(name)
+        if host is None or host.uplink is None:
+            raise ValueError(f"no wired host {name!r} for target {spec.target!r}")
+        return host
+
+    def _install_crash(self, spec: FaultSpec) -> None:
+        """Kill both directions of the worker's uplink — a dead NIC."""
+        host = self._worker_host(spec)
+        uplink = host.uplink
+        downlink = uplink.dst.ports[host.name]
+        sim = self.network.sim
+
+        def die() -> None:
+            uplink.up = False
+            downlink.up = False
+            self._record("crash", spec.target, state="down", host=host.name)
+
+        def revive() -> None:
+            uplink.up = True
+            downlink.up = True
+            self._record("crash", spec.target, state="up", host=host.name)
+
+        sim.schedule(spec.start_s, die)
+        if spec.stop_s is not None:
+            sim.schedule(spec.stop_s, revive)
+
+    def _install_straggler(self, spec: FaultSpec, gen: np.random.Generator) -> None:
+        """Slow the worker's outbound data path by a fixed extra delay."""
+        host = self._worker_host(spec)
+        label = f"{host.name}->{host.uplink.dst.name}"
+        sim = self.network.sim
+
+        def stage(entry: Tuple[float, Packet]) -> List[Tuple[float, Packet]]:
+            delay, packet = entry
+            if not spec.active_at(sim.now) or packet.is_ack:
+                return [entry]
+            if gen.random() >= spec.rate:
+                return [entry]
+            self._record(
+                "straggler",
+                spec.target,
+                flow_id=packet.flow_id,
+                seq=packet.seq,
+                extra_delay_s=spec.jitter_s,
+            )
+            return [(delay + spec.jitter_s, packet)]
+
+        self._hooked_links.setdefault(label, []).append(stage)
 
     # -- scheduled faults -------------------------------------------------------
 

@@ -2,10 +2,11 @@
 
 A :class:`FaultSpec` is one scheduled fault stream — corruption on a
 link, ACK loss, duplication, reordering jitter, a link flap, a switch
-port blackout — and a :class:`Scenario` is a named bundle of specs plus
-the topology/workload shape to run them against.  Everything is plain
-data: scenarios serialize to/from dicts, so a JSON file is a valid
-scenario definition and the preset table below is just six of them.
+port blackout, a worker crash, a persistent straggler — and a
+:class:`Scenario` is a named bundle of specs plus the topology/workload
+shape to run them against.  Everything is plain data: scenarios
+serialize to/from dicts, so a JSON file is a valid scenario definition
+and the preset table below is just eight of them.
 
 Determinism contract: a scenario carries **no randomness of its own**.
 All random draws happen inside :class:`repro.faults.FaultInjector`
@@ -29,10 +30,25 @@ __all__ = [
 ]
 
 #: Fault kinds the injector knows how to apply.
-FAULT_KINDS = ("corrupt", "ack-loss", "duplicate", "reorder", "flap", "blackout")
+FAULT_KINDS = (
+    "corrupt",
+    "ack-loss",
+    "duplicate",
+    "reorder",
+    "flap",
+    "blackout",
+    "crash",
+    "straggler",
+)
 
 #: Kinds that draw a Bernoulli decision per packet (need ``rate``).
-_PER_PACKET = ("corrupt", "ack-loss", "duplicate", "reorder")
+_PER_PACKET = ("corrupt", "ack-loss", "duplicate", "reorder", "straggler")
+
+#: Kinds scoped to a whole worker (``target="worker:<rank>"``) rather
+#: than a single link.  In the network harness rank ``r`` maps to host
+#: ``tx<r>``; in the DDP trainer the same spec drives
+#: :class:`repro.resilience.WorkerFaultPlan`.
+_WORKER_SCOPED = ("crash", "straggler")
 
 
 @dataclass(frozen=True)
@@ -49,8 +65,11 @@ class FaultSpec:
         period_s: flap cycle length (down + up); 0 = a single flap.
         down_s: how long each flap/blackout keeps the target dark.
         jitter_s: max extra delay for ``reorder``; the fixed extra delay
-            of a ``duplicate`` copy.
+            of a ``duplicate`` copy or of a ``straggler``'s slow packets.
         bit_flips: payload bits flipped per corrupted packet.
+        slow_factor: multiplicative round-time slowdown a ``straggler``
+            imposes in the DDP cost-model path (the network path uses
+            ``jitter_s`` per packet instead).
     """
 
     fault: str
@@ -62,6 +81,7 @@ class FaultSpec:
     down_s: float = 0.0
     jitter_s: float = 0.0
     bit_flips: int = 8
+    slow_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.fault not in FAULT_KINDS:
@@ -76,12 +96,31 @@ class FaultSpec:
             )
         if self.fault == "blackout" and ":" not in self.target:
             raise ValueError(f"blackout target must be 'switch:neighbor', got {self.target!r}")
-        if self.fault != "blackout" and "->" not in self.target:
+        if self.fault in _WORKER_SCOPED:
+            if not self.target.startswith("worker:"):
+                raise ValueError(
+                    f"{self.fault} target must be 'worker:<rank>', got {self.target!r}"
+                )
+            rank = self.target.split(":", 1)[1]
+            if not rank.isdigit():
+                raise ValueError(f"{self.fault} worker rank must be an integer, got {rank!r}")
+        elif self.fault != "blackout" and "->" not in self.target:
             raise ValueError(f"{self.fault} target must be 'src->dst', got {self.target!r}")
+        if self.fault == "straggler" and self.jitter_s <= 0.0:
+            raise ValueError(f"straggler needs jitter_s > 0, got {self.jitter_s}")
+        if self.slow_factor < 1.0:
+            raise ValueError(f"slow_factor must be >= 1, got {self.slow_factor}")
         if self.start_s < 0 or (self.stop_s is not None and self.stop_s <= self.start_s):
             raise ValueError(f"bad fault window [{self.start_s}, {self.stop_s})")
         if self.bit_flips < 1:
             raise ValueError(f"bit_flips must be >= 1, got {self.bit_flips}")
+
+    @property
+    def worker_rank(self) -> int:
+        """Rank of a worker-scoped fault's target (crash/straggler only)."""
+        if self.fault not in _WORKER_SCOPED:
+            raise ValueError(f"{self.fault} is not worker-scoped")
+        return int(self.target.split(":", 1)[1])
 
     def active_at(self, now: float) -> bool:
         """Is this fault's window open at simulation time ``now``?"""
@@ -106,12 +145,19 @@ class Scenario:
     edge_rate_bps: float = 10e9
     bottleneck_rate_bps: float = 10e9
     coords: int = 20_000
+    max_retries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.faults:
             raise ValueError("a scenario needs at least one fault")
         if self.duration_s <= 0 or self.pairs < 1 or self.coords < 1:
             raise ValueError("duration_s, pairs and coords must be positive")
+        if self.max_retries is not None and self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {self.max_retries}")
+
+    def worker_faults(self) -> Tuple[FaultSpec, ...]:
+        """The worker-scoped specs (crash/straggler) in this scenario."""
+        return tuple(spec for spec in self.faults if spec.fault in _WORKER_SCOPED)
 
     def to_dict(self) -> Dict:
         """Plain-data form (JSON-ready)."""
@@ -204,11 +250,51 @@ def _presets() -> Dict[str, Scenario]:
                 ),
                 faults=(FaultSpec("blackout", "s1:rx0", start_s=0.3e-3, down_s=2e-3),),
             ),
+            Scenario(
+                name="worker-crash",
+                description=(
+                    "worker 1 dies mid-transfer and never comes back; the "
+                    "survivors must surrender its flow and keep training"
+                ),
+                faults=(FaultSpec("crash", "worker:1", start_s=30e-6),),
+                pairs=2,
+                duration_s=2.0,
+                coords=10_000,
+                max_retries=40,
+            ),
+            Scenario(
+                name="straggler-storm",
+                description=(
+                    "two workers turn persistently slow: every packet from "
+                    "worker 1 (and half from worker 2) takes a long detour"
+                ),
+                faults=(
+                    FaultSpec(
+                        "straggler",
+                        "worker:1",
+                        rate=1.0,
+                        jitter_s=40e-6,
+                        slow_factor=8.0,
+                        stop_s=0.1,
+                    ),
+                    FaultSpec(
+                        "straggler",
+                        "worker:2",
+                        rate=0.5,
+                        jitter_s=40e-6,
+                        slow_factor=4.0,
+                        stop_s=0.1,
+                    ),
+                ),
+                pairs=4,
+                duration_s=0.3,
+                coords=10_000,
+            ),
         )
     }
 
 
-#: The six named adversity presets the chaos CI matrix runs.
+#: The named adversity presets the chaos CI matrix runs.
 PRESETS: Dict[str, Scenario] = _presets()
 
 

@@ -122,7 +122,10 @@ class BareRandomnessRule(Rule):
         "shared_generator(...)) so sender and receiver regenerate the "
         "same stream"
     )
-    scope = ("core/", "transforms/", "collectives/", "transport/", "train/", "faults/")
+    scope = (
+        "core/", "transforms/", "collectives/", "transport/", "train/",
+        "faults/", "resilience/",
+    )
     exempt = ("transforms/prng.py",)
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
@@ -173,7 +176,7 @@ class WallClockInSimRule(Rule):
         "use Simulator.now / event timestamps; wall-clock spans belong in "
         "the repro.obs tracer's explicit capture points"
     )
-    scope = ("net/", "transport/", "faults/")
+    scope = ("net/", "transport/", "faults/", "resilience/")
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         tracker = ImportTracker(module.tree)
@@ -271,7 +274,7 @@ class FloatEqRule(Rule):
     )
     scope = (
         "core/", "transforms/", "nn/", "baselines/", "collectives/",
-        "train/", "bench/",
+        "train/", "bench/", "resilience/",
     )
 
     def check(self, module: SourceModule) -> Iterator[Finding]:

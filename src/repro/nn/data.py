@@ -121,6 +121,19 @@ class DataLoader:
             return n // self.batch_size
         return -(-n // self.batch_size)
 
+    def state(self) -> dict:
+        """Snapshot of the loader's PCG64 state (JSON-ready).
+
+        Captured at an epoch boundary this pins the shuffle permutation
+        *and* every augmentation draw of the epoch, so a restored loader
+        replays the epoch's batches bit-identically.
+        """
+        return dict(self._rng.bit_generator.state)
+
+    def set_state(self, state: dict) -> None:
+        """Inverse of :meth:`state`."""
+        self._rng.bit_generator.state = dict(state)
+
     def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         n = len(self.dataset)
         order = self._rng.permutation(n) if self.shuffle else np.arange(n)

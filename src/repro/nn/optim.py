@@ -59,6 +59,30 @@ class SGD:
             v += grad
             p.data -= self.lr * v
 
+    def state_dict(self) -> dict:
+        """Momentum buffers + current lr, JSON-ready (for checkpoints)."""
+        return {
+            "lr": self.lr,
+            "velocity": [v.ravel().tolist() for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict` (shapes come from the params)."""
+        buffers = state["velocity"]
+        if len(buffers) != len(self._velocity):
+            raise ValueError(
+                f"state has {len(buffers)} velocity buffers, "
+                f"optimizer has {len(self._velocity)}"
+            )
+        self.lr = float(state["lr"])
+        for v, flat in zip(self._velocity, buffers):
+            values = np.asarray(flat, dtype=v.dtype)
+            if values.size != v.size:
+                raise ValueError(
+                    f"velocity buffer size {values.size} != {v.size}"
+                )
+            v[...] = values.reshape(v.shape)
+
 
 class Adam:
     """Adam with bias correction (Kingma & Ba).
@@ -155,6 +179,14 @@ class StepLR:
         decays = self.epoch // self.step_size
         self.optimizer.lr = self.base_lr * (self.gamma**decays)
 
+    def set_epoch(self, epoch: int) -> None:
+        """Jump to ``epoch`` completed steps (checkpoint restore)."""
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        self.epoch = epoch
+        decays = self.epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma**decays)
+
     @property
     def lr(self) -> float:
         return self.optimizer.lr
@@ -178,6 +210,16 @@ class CosineLR:
         progress = min(self.epoch, self.t_max) / self.t_max
         cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
         self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+    def set_epoch(self, epoch: int) -> None:
+        """Jump to ``epoch`` completed steps (checkpoint restore)."""
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        self.epoch = 0
+        for _ in range(epoch):
+            self.step()
+        if epoch == 0:
+            self.optimizer.lr = self.base_lr
 
     @property
     def lr(self) -> float:

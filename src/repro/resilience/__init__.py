@@ -1,0 +1,39 @@
+"""Worker-level fault tolerance for the trim-pipeline trainer.
+
+The paper removes *packet-level* stragglers (retransmission stalls) by
+trimming; this package handles the *worker-level* failures that remain
+in any real DDP job:
+
+* :class:`RoundDeadline` — deadline-based partial aggregation: workers
+  whose modeled round time exceeds the deadline are excluded and the
+  mean is rescaled over the responders (unbiased over that subset).
+* :class:`Membership` — alive/suspect/dead tracking with a phi-accrual
+  suspicion score, eviction after ``k`` missed deadlines, and rejoin
+  via a model broadcast.
+* :class:`EFChannel` — DGC-style error feedback: the per-worker
+  residual of whatever trimming/quantization/surrendered rounds
+  discarded is added back before the next encode, turning silent loss
+  into delayed updates.
+* :class:`TrainingCheckpoint` — deterministic snapshot of model,
+  momentum, scheduler, loaders and counters so crash + resume replays
+  the uninterrupted run byte-identically.
+* :class:`WorkerFaultPlan` / :class:`ResilienceConfig` — bridge the
+  declarative ``worker-crash`` / ``straggler-storm`` scenarios of
+  :mod:`repro.faults` into the trainer's modeled clock.
+"""
+
+from .checkpoint import TrainingCheckpoint
+from .deadline import RoundDeadline
+from .ef import EFChannel
+from .membership import Membership, WorkerState
+from .plan import ResilienceConfig, WorkerFaultPlan
+
+__all__ = [
+    "EFChannel",
+    "Membership",
+    "ResilienceConfig",
+    "RoundDeadline",
+    "TrainingCheckpoint",
+    "WorkerState",
+    "WorkerFaultPlan",
+]

@@ -15,13 +15,16 @@ memory.
 
 from __future__ import annotations
 
+import json
+import math
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from ..collectives.hooks import AllReduceHook, CommHook
+from ..collectives.ring import broadcast
 from ..nn.data import DataLoader, SyntheticImages
 from ..nn.functional import cross_entropy
 from ..nn.layers import Module
@@ -30,6 +33,13 @@ from ..nn.optim import SGD, StepLR
 from ..nn.tensor import Tensor
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
+from ..resilience import (
+    EFChannel,
+    Membership,
+    ResilienceConfig,
+    RoundDeadline,
+    TrainingCheckpoint,
+)
 from .timing import RoundTime, RoundTimeModel
 
 __all__ = ["TrainConfig", "EpochRecord", "TrainingHistory", "DDPTrainer", "shard_dataset"]
@@ -37,7 +47,15 @@ __all__ = ["TrainConfig", "EpochRecord", "TrainingHistory", "DDPTrainer", "shard
 
 @dataclass
 class TrainConfig:
-    """Hyper-parameters, defaulting to the paper's recipe (footnote 4)."""
+    """Hyper-parameters, defaulting to the paper's recipe (footnote 4).
+
+    ``freeze_momentum_on_surrender`` controls the degraded-step
+    interaction with momentum: by default a surrendered round's zero
+    gradient still decays the velocity buffers (``v <- mu*v``); with the
+    flag set the optimizer step is skipped entirely when a surrender
+    left the aggregated gradient all-zero, freezing both parameters and
+    momentum for that round.
+    """
 
     epochs: int = 20
     batch_size: int = 64
@@ -49,6 +67,7 @@ class TrainConfig:
     label_smoothing: float = 0.0
     augment: bool = True
     seed: int = 0
+    freeze_momentum_on_surrender: bool = False
 
 
 @dataclass
@@ -63,6 +82,47 @@ class EpochRecord:
     wall_clock_s: float  # cumulative modeled time at epoch end
     trim_fraction: float
     diverged: bool = False
+    stragglers: int = 0  # worker-rounds excluded by the deadline
+    evictions: int = 0
+    rejoins: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (used by checkpoints and the CLI)."""
+        return {
+            "epoch": self.epoch,
+            "train_loss": self.train_loss,
+            "top1": self.top1,
+            "top5": self.top5,
+            "round_time": self.round_time.as_dict(),
+            "wall_clock_s": self.wall_clock_s,
+            "trim_fraction": self.trim_fraction,
+            "diverged": self.diverged,
+            "stragglers": self.stragglers,
+            "evictions": self.evictions,
+            "rejoins": self.rejoins,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EpochRecord":
+        """Inverse of :meth:`as_dict`."""
+        rt = data["round_time"]
+        return cls(
+            epoch=int(data["epoch"]),
+            train_loss=float(data["train_loss"]),
+            top1=float(data["top1"]),
+            top5=float(data["top5"]),
+            round_time=RoundTime(
+                compute_s=float(rt["compute_s"]),
+                encode_s=float(rt["encode_s"]),
+                comm_s=float(rt["comm_s"]),
+            ),
+            wall_clock_s=float(data["wall_clock_s"]),
+            trim_fraction=float(data["trim_fraction"]),
+            diverged=bool(data["diverged"]),
+            stragglers=int(data.get("stragglers", 0)),
+            evictions=int(data.get("evictions", 0)),
+            rejoins=int(data.get("rejoins", 0)),
+        )
 
 
 class TrainingHistory:
@@ -105,6 +165,16 @@ class TrainingHistory:
     def total_time(self) -> float:
         return self.records[-1].wall_clock_s if self.records else 0.0
 
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """All records in JSON-ready form."""
+        return [record.as_dict() for record in self.records]
+
+    def to_json(self) -> str:
+        """Canonical JSON — byte-identical across identical runs."""
+        return json.dumps(
+            {"label": self.label, "records": self.as_dicts()}, sort_keys=True
+        )
+
 
 def shard_dataset(dataset: SyntheticImages, world_size: int) -> List[SyntheticImages]:
     """Round-robin split, the DistributedSampler equivalent."""
@@ -139,6 +209,12 @@ class DDPTrainer:
         optimizer_factory: callable mapping the parameter list to an
             optimizer (default: the paper's SGD+momentum from config) —
             used by the optimizer-sensitivity ablation.
+        resilience: arm worker-level fault tolerance — a round deadline
+            with partial aggregation, phi-accrual membership with
+            eviction/rejoin, optional error feedback, and the fault plan
+            evaluated on the modeled clock (see
+            :class:`repro.resilience.ResilienceConfig`).  Requires a
+            time model; a default one is created if none was given.
     """
 
     def __init__(
@@ -156,12 +232,16 @@ class DDPTrainer:
         divergence_loss: float = 50.0,
         label: Optional[str] = None,
         optimizer_factory=None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         self.model = model
         self.test_set = test_set
         self.world_size = world_size
         self.hook = hook or AllReduceHook()
         self.config = config or TrainConfig()
+        self.resilience = resilience
+        if resilience is not None and time_model is None:
+            time_model = RoundTimeModel()
         self.time_model = time_model
         self.codec_name = codec_name
         self.trim_rate = trim_rate
@@ -193,6 +273,41 @@ class DDPTrainer:
         self.num_coords = model.num_parameters()
         self.history = TrainingHistory(self.label)
         self._rounds_run = 0
+        # Per-run mutable state (all checkpointable).
+        self._wall_clock = 0.0
+        self._cur_epoch = 1
+        self._epoch_losses: List[float] = []
+        self._epoch_start_wall = 0.0
+        self._epoch_loader_states: Optional[List[dict]] = None
+        self._skip_rounds = 0
+        self._epoch_stragglers = 0
+        self._epoch_evictions = 0
+        self._epoch_rejoins = 0
+        # Resilience wiring: deadline + membership from the cost model.
+        self.deadline: Optional[RoundDeadline] = None
+        self.membership: Optional[Membership] = None
+        if resilience is not None:
+            self.deadline = RoundDeadline.from_time_model(
+                self.time_model,
+                self.num_coords,
+                factor=resilience.deadline_factor,
+                label=self.label,
+                codec_name=codec_name,
+                trim_rate=trim_rate,
+                drop_rate=drop_rate,
+                world_size=world_size,
+            )
+            self.membership = Membership(
+                world_size,
+                evict_after=resilience.evict_after,
+                suspect_phi=resilience.suspect_phi,
+                label=self.label,
+            )
+            self.hook.deadline = self.deadline
+            if resilience.error_feedback and not isinstance(
+                self.hook.channel, EFChannel
+            ):
+                self.hook.channel = EFChannel(self.hook.channel, label=self.label)
         registry = get_registry()
         self._m_rounds = registry.counter(
             "repro_train_rounds_total", "synchronous rounds completed", ("run",)
@@ -214,12 +329,72 @@ class DDPTrainer:
 
     # -- one synchronous round -------------------------------------------------
 
-    def _round(self, batches, epoch: int) -> float:
+    def _worker_times(self, base_s: float, now_s: float) -> Dict[int, float]:
+        """Modeled per-worker round times under the fault plan.
+
+        Evicted workers and workers inside a crash window get ``inf``
+        (they do no compute and miss every deadline); stragglers get the
+        plan's stretched time.
+        """
+        assert self.resilience is not None and self.membership is not None
+        plan = self.resilience.plan
+        times: Dict[int, float] = {}
+        for rank in range(self.world_size):
+            if self.membership.is_dead(rank):
+                times[rank] = math.inf
+            else:
+                times[rank] = plan.round_time(rank, base_s, now_s)
+        return times
+
+    def _maybe_rejoin(self, base_s: float, now_s: float, epoch: int) -> None:
+        """Re-admit evicted workers whose fault window has closed."""
+        assert self.resilience is not None
+        if not self.resilience.rejoin:
+            return
+        membership, deadline = self.membership, self.deadline
+        assert membership is not None and deadline is not None
+        plan = self.resilience.plan
+        for rank in range(self.world_size):
+            if not membership.is_dead(rank):
+                continue
+            if plan.round_time(rank, base_s, now_s) > deadline.deadline_s:
+                continue  # still crashed or too slow to make the deadline
+            # Rejoin protocol: the live workers broadcast the current
+            # model so the returning worker resumes from fresh params.
+            # Error feedback is bypassed (parameters are not gradients)
+            # and the rejoiner's stale residuals are discarded.
+            channel = self.hook.channel
+            if isinstance(channel, EFChannel):
+                channel.drop_worker(rank)
+                channel = channel.inner
+            broadcast(
+                self.model.flat_parameters(),
+                self.world_size,
+                channel,
+                epoch=epoch,
+                message_id=self.hook.next_message_id(),
+            )
+            membership.readmit(rank)
+            self._epoch_rejoins += 1
+
+    def _round(self, batches, epoch: int, now_s: float = 0.0) -> float:
         """Forward/backward per worker, aggregate, step.  Returns loss."""
         round_start = time.perf_counter()
+        times: Optional[Dict[int, float]] = None
+        if self.resilience is not None:
+            base_s = self._epoch_round_time().total_s
+            self._maybe_rejoin(base_s, now_s, epoch)
+            times = self._worker_times(base_s, now_s)
+            assert self.deadline is not None
+            self.deadline.begin_round(times)
         grads: List[np.ndarray] = []
         losses: List[float] = []
-        for images, labels in batches:
+        for rank, (images, labels) in enumerate(batches):
+            if times is not None and not math.isfinite(times[rank]):
+                # Crashed/evicted workers do no compute; the deadline
+                # keeps their placeholder out of the collective.
+                grads.append(np.zeros(self.num_coords))
+                continue
             self.model.zero_grad()
             loss = cross_entropy(
                 self.model(Tensor(images)),
@@ -229,13 +404,34 @@ class DDPTrainer:
             loss.backward()
             grads.append(self.model.flat_gradient())
             losses.append(loss.item())
+        surrendered_before = self.hook.stats.rounds_surrendered
         aggregated = self.hook.aggregate(grads, epoch=epoch)
-        self.model.load_flat_gradient(aggregated)
-        self.optimizer.step()
+        surrendered = self.hook.stats.rounds_surrendered - surrendered_before
+        if (
+            self.config.freeze_momentum_on_surrender
+            and surrendered > 0
+            and not np.any(aggregated)
+        ):
+            # The whole round was lost: freeze parameters AND momentum
+            # instead of letting a zero gradient decay the velocity.
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "train.momentum_frozen",
+                    run=self.label,
+                    epoch=epoch,
+                    round=self._rounds_run + 1,
+                )
+        else:
+            self.model.load_flat_gradient(aggregated)
+            self.optimizer.step()
+        if times is not None:
+            self._update_membership(times)
         self._rounds_run += 1
         self._m_rounds.inc()
         round_seconds = time.perf_counter() - round_start
         self._m_round_seconds.observe(round_seconds)
+        mean_loss = float(np.mean(losses)) if losses else float("nan")
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
@@ -244,9 +440,21 @@ class DDPTrainer:
                 run=self.label,
                 epoch=epoch,
                 round=self._rounds_run,
-                loss=float(np.mean(losses)),
+                loss=mean_loss,
             )
-        return float(np.mean(losses))
+        return mean_loss
+
+    def _update_membership(self, times: Dict[int, float]) -> None:
+        """Feed the detector with this round's outcome per worker."""
+        membership, deadline = self.membership, self.deadline
+        assert membership is not None and deadline is not None
+        evictions_before = membership.evictions
+        for rank in deadline.last_stragglers:
+            membership.miss(rank)
+        for rank in deadline.last_responders:
+            membership.observe(rank, times[rank])
+        self._epoch_stragglers += len(deadline.last_stragglers)
+        self._epoch_evictions += membership.evictions - evictions_before
 
     def _epoch_round_time(self) -> RoundTime:
         if self.time_model is None:
@@ -261,24 +469,62 @@ class DDPTrainer:
 
     # -- training loop --------------------------------------------------------------
 
-    def train(self, epochs: Optional[int] = None) -> TrainingHistory:
-        """Run the configured number of epochs; returns the history."""
+    def train(
+        self, epochs: Optional[int] = None, max_rounds: Optional[int] = None
+    ) -> TrainingHistory:
+        """Run the configured number of epochs; returns the history.
+
+        ``max_rounds`` stops after that many *total* rounds (counting
+        any restored from a checkpoint) without recording a partial
+        epoch — the crash-at-round-R half of the resume test.  Calling
+        :meth:`train` again (or restoring a checkpoint first) continues
+        exactly where the run stopped.
+        """
         epochs = epochs if epochs is not None else self.config.epochs
         round_time = self._epoch_round_time()
-        wall_clock = 0.0
-        for epoch in range(1, epochs + 1):
-            epoch_losses: List[float] = []
+        epoch = self._cur_epoch
+        while epoch <= epochs:
+            skip = self._skip_rounds
+            self._skip_rounds = 0
+            if skip == 0:
+                # Epoch start: snapshot everything a mid-epoch resume
+                # needs to rewind to this exact point.
+                self._epoch_loader_states = [ld.state() for ld in self.loaders]
+                self._epoch_losses = []
+                self._epoch_start_wall = self._wall_clock
+                self._epoch_stragglers = 0
+                self._epoch_evictions = 0
+                self._epoch_rejoins = 0
             diverged = False
-            for batches in zip(*self.loaders):
-                loss = self._round(batches, epoch=epoch)
-                epoch_losses.append(loss)
+            batch_iter = zip(*self.loaders)
+            for _ in range(skip):
+                # Resume path: loaders were rewound to the epoch start,
+                # so replay (and discard) the already-trained rounds to
+                # realign every RNG draw.
+                if next(batch_iter, None) is None:
+                    break
+            for batches in batch_iter:
+                now_s = (
+                    self._epoch_start_wall
+                    + len(self._epoch_losses) * round_time.total_s
+                )
+                loss = self._round(batches, epoch=epoch, now_s=now_s)
+                self._epoch_losses.append(loss)
                 if not np.isfinite(loss) or loss > self.divergence_loss:
                     diverged = True
                     break
-            rounds_this_epoch = len(epoch_losses)
-            wall_clock += rounds_this_epoch * round_time.total_s
+                if max_rounds is not None and self._rounds_run >= max_rounds:
+                    return self.history
+            rounds_this_epoch = len(self._epoch_losses)
+            self._wall_clock = (
+                self._epoch_start_wall + rounds_this_epoch * round_time.total_s
+            )
             accuracy = evaluate(self.model, self.test_set)
-            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+            mean_loss = (
+                float(np.mean(self._epoch_losses))
+                if self._epoch_losses
+                else float("nan")
+            )
             self.history.append(
                 EpochRecord(
                     epoch=epoch,
@@ -286,9 +532,12 @@ class DDPTrainer:
                     top1=accuracy[1],
                     top5=accuracy.get(5, accuracy[1]),
                     round_time=round_time,
-                    wall_clock_s=wall_clock,
+                    wall_clock_s=self._wall_clock,
                     trim_fraction=self.hook.stats.trim_fraction,
                     diverged=diverged,
+                    stragglers=self._epoch_stragglers,
+                    evictions=self._epoch_evictions,
+                    rejoins=self._epoch_rejoins,
                 )
             )
             self._m_epoch.set(epoch)
@@ -304,10 +553,112 @@ class DDPTrainer:
                     loss=mean_loss,
                     top1=accuracy[1],
                     trim_fraction=self.hook.stats.trim_fraction,
-                    modeled_wall_clock_s=wall_clock,
+                    modeled_wall_clock_s=self._wall_clock,
                     diverged=diverged,
+                    stragglers=self._epoch_stragglers,
+                    evictions=self._epoch_evictions,
+                    rejoins=self._epoch_rejoins,
                 )
+            self._cur_epoch = epoch + 1
             if diverged:
                 break
             self.scheduler.step()
+            epoch += 1
         return self.history
+
+    # -- checkpoint / resume ---------------------------------------------------
+
+    def checkpoint(self) -> TrainingCheckpoint:
+        """Snapshot the full training state (see :mod:`repro.resilience`)."""
+        state_dict = getattr(self.optimizer, "state_dict", None)
+        if not callable(state_dict):
+            raise TypeError(
+                f"{type(self.optimizer).__name__} does not support "
+                "state_dict(); checkpointing requires SGD"
+            )
+        loader_states = self._epoch_loader_states
+        if loader_states is None:  # checkpoint before any training
+            loader_states = [ld.state() for ld in self.loaders]
+        stats = {
+            key: value
+            for key, value in self.hook.stats.as_dict().items()
+            if key != "trim_fraction"  # derived
+        }
+        ckpt = TrainingCheckpoint(
+            label=self.label,
+            seed=self.config.seed,
+            epoch=self._cur_epoch,
+            rounds_run=self._rounds_run,
+            rounds_in_epoch=len(self._epoch_losses),
+            wall_clock_s=self._epoch_start_wall,
+            epoch_losses=list(self._epoch_losses),
+            model_flat=self.model.flat_parameters().tolist(),
+            optimizer=state_dict(),
+            scheduler_epoch=self.scheduler.epoch,
+            loader_states=[dict(s) for s in loader_states],
+            message_counter=self.hook._message_counter,
+            channel_stats=stats,
+            history=self.history.as_dicts(),
+            epoch_stragglers=self._epoch_stragglers,
+            epoch_evictions=self._epoch_evictions,
+            epoch_rejoins=self._epoch_rejoins,
+        )
+        if self.deadline is not None:
+            ckpt.deadline = self.deadline.state_dict()
+        if self.membership is not None:
+            ckpt.membership = self.membership.state_dict()
+        if isinstance(self.hook.channel, EFChannel):
+            ckpt.ef = self.hook.channel.state_dict()
+        return ckpt
+
+    def restore(self, ckpt: TrainingCheckpoint) -> None:
+        """Load a checkpoint; the next :meth:`train` continues the run.
+
+        Restores parameters, momentum, scheduler, loader RNGs (rewound
+        to the epoch start — :meth:`train` replays the finished rounds),
+        all counters, and the resilience state, so the continued run is
+        byte-identical to one that never stopped.
+        """
+        if ckpt.label != self.label:
+            raise ValueError(f"checkpoint is for {ckpt.label!r}, not {self.label!r}")
+        if ckpt.seed != self.config.seed:
+            raise ValueError(
+                f"checkpoint seed {ckpt.seed} != config seed {self.config.seed}"
+            )
+        if len(ckpt.loader_states) != len(self.loaders):
+            raise ValueError(
+                f"checkpoint has {len(ckpt.loader_states)} loaders, "
+                f"trainer has {len(self.loaders)}"
+            )
+        self.model.load_flat_parameters(
+            np.asarray(ckpt.model_flat, dtype=np.float64)
+        )
+        self.optimizer.load_state_dict(ckpt.optimizer)
+        self.scheduler.set_epoch(ckpt.scheduler_epoch)
+        for loader, state in zip(self.loaders, ckpt.loader_states):
+            loader.set_state(state)
+        self._epoch_loader_states = [dict(s) for s in ckpt.loader_states]
+        self.hook._message_counter = ckpt.message_counter
+        stats = self.hook.stats
+        for key, value in ckpt.channel_stats.items():
+            if not hasattr(stats, key):
+                raise ValueError(f"unknown channel stat {key!r}")
+            setattr(stats, key, value)
+        self.history = TrainingHistory(self.label)
+        for record in ckpt.history:
+            self.history.append(EpochRecord.from_dict(record))
+        self._rounds_run = ckpt.rounds_run
+        self._cur_epoch = ckpt.epoch
+        self._epoch_losses = list(ckpt.epoch_losses)
+        self._epoch_start_wall = ckpt.wall_clock_s
+        self._wall_clock = ckpt.wall_clock_s
+        self._skip_rounds = ckpt.rounds_in_epoch
+        self._epoch_stragglers = ckpt.epoch_stragglers
+        self._epoch_evictions = ckpt.epoch_evictions
+        self._epoch_rejoins = ckpt.epoch_rejoins
+        if self.deadline is not None and ckpt.deadline:
+            self.deadline.load_state_dict(ckpt.deadline)
+        if self.membership is not None and ckpt.membership:
+            self.membership.load_state_dict(ckpt.membership)
+        if isinstance(self.hook.channel, EFChannel) and ckpt.ef:
+            self.hook.channel.load_state_dict(ckpt.ef)

@@ -85,7 +85,7 @@ class NetworkChannel(GradientChannel):
         self, flat: np.ndarray, reason: str, epoch: int, message_id: int, worker: int
     ) -> np.ndarray:
         """Zero-gradient fallback for a round the transport gave up on."""
-        self.stats.rounds_surrendered += 1
+        self.count_surrender()
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(

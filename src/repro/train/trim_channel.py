@@ -141,9 +141,9 @@ class TrimChannel(GradientChannel):
             self.stats.messages += 1
             self.stats.coordinates += flat.size
             self.stats.packets_total += num_packets
-            self.stats.packets_dropped += dropped_count
+            self.count_dropped(dropped_count)
             self.stats.bytes_sent += num_packets * self._full_packet_bytes
-            self.stats.rounds_surrendered += 1
+            self.count_surrender()
             tracer = get_tracer()
             if tracer.enabled:
                 tracer.event(
@@ -168,7 +168,7 @@ class TrimChannel(GradientChannel):
         self.stats.coordinates += flat.size
         self.stats.packets_total += num_packets
         self.stats.packets_trimmed += trimmed_count
-        self.stats.packets_dropped += dropped_count
+        self.count_dropped(dropped_count)
         # Dropped packets were transmitted at full size before they died.
         self.stats.bytes_sent += (
             (num_packets - trimmed_count - dropped_count) * self._full_packet_bytes
@@ -240,7 +240,7 @@ class BaselineDropChannel(GradientChannel):
         self.stats.messages += 1
         self.stats.coordinates += flat.size
         self.stats.packets_total += num_packets
-        self.stats.packets_dropped += dropped
+        self.count_dropped(dropped)
         # Retransmissions put the dropped packets on the wire again.
         self.stats.bytes_sent += (num_packets + dropped) * self.mtu
         return flat.copy()

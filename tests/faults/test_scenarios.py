@@ -80,8 +80,8 @@ class TestScenario:
 
 
 class TestPresets:
-    def test_six_presets(self):
-        assert len(PRESETS) == 6
+    def test_eight_presets(self):
+        assert len(PRESETS) == 8
         assert available_scenarios() == sorted(PRESETS)
 
     def test_expected_names(self):
@@ -92,11 +92,34 @@ class TestPresets:
             "reorder-heavy",
             "flap-during-allreduce",
             "blackout-recovery",
+            "worker-crash",
+            "straggler-storm",
         }
 
     def test_every_kind_is_covered(self):
         used = {spec.fault for s in PRESETS.values() for spec in s.faults}
         assert used == set(FAULT_KINDS)
+
+    def test_worker_scoped_validation(self):
+        with pytest.raises(ValueError, match="worker:<rank>"):
+            FaultSpec("crash", "s0->s1")
+        with pytest.raises(ValueError, match="rank must be an integer"):
+            FaultSpec("crash", "worker:one")
+        with pytest.raises(ValueError, match="jitter_s"):
+            FaultSpec("straggler", "worker:1", rate=0.5)
+        with pytest.raises(ValueError, match="slow_factor"):
+            FaultSpec("straggler", "worker:1", rate=0.5, jitter_s=1e-6, slow_factor=0.5)
+        spec = FaultSpec("straggler", "worker:3", rate=0.5, jitter_s=1e-6)
+        assert spec.worker_rank == 3
+        with pytest.raises(ValueError, match="not worker-scoped"):
+            _ = FaultSpec("corrupt", "s0->s1", rate=0.1).worker_rank
+
+    def test_worker_faults_accessor(self):
+        assert PRESETS["flaky-link"].worker_faults() == ()
+        crash = PRESETS["worker-crash"]
+        assert [spec.fault for spec in crash.worker_faults()] == ["crash"]
+        storm = PRESETS["straggler-storm"]
+        assert [spec.worker_rank for spec in storm.worker_faults()] == [1, 2]
 
     def test_lookup(self):
         assert scenario_by_name("reorder-heavy").name == "reorder-heavy"

@@ -1,0 +1,106 @@
+"""Membership: phi-accrual suspicion, eviction, rejoin."""
+
+import pytest
+
+from repro.resilience import Membership, WorkerState
+
+
+class TestValidation:
+    def test_bad_args(self):
+        with pytest.raises(ValueError, match="world_size"):
+            Membership(0)
+        with pytest.raises(ValueError, match="evict_after"):
+            Membership(2, evict_after=0)
+        with pytest.raises(ValueError, match="window"):
+            Membership(2, window=1)
+
+    def test_unknown_rank(self):
+        membership = Membership(2)
+        with pytest.raises(KeyError):
+            membership.observe(5, 1.0)
+
+
+class TestPhi:
+    def test_no_history_means_no_suspicion(self):
+        membership = Membership(2)
+        assert membership.phi(0, 100.0) == 0.0
+
+    def test_phi_grows_with_deviation(self):
+        membership = Membership(2)
+        for _ in range(10):
+            membership.observe(0, 1.0)
+        fast = membership.phi(0, 1.0)
+        slow = membership.phi(0, 3.0)
+        assert slow > fast
+        assert slow == 30.0  # capped: sigma is floored, 2 s out is "never"
+
+    def test_noisy_history_tolerates_noise(self):
+        membership = Membership(2, suspect_phi=3.0)
+        for i in range(20):
+            membership.observe(0, 1.0 + 0.1 * (i % 5))
+        # A sample inside the observed spread is unremarkable.
+        assert membership.phi(0, 1.2) < 3.0
+
+
+class TestTransitions:
+    def test_eviction_after_consecutive_misses(self):
+        membership = Membership(3, evict_after=3)
+        assert membership.miss(1) is WorkerState.SUSPECT
+        assert membership.miss(1) is WorkerState.SUSPECT
+        assert membership.miss(1) is WorkerState.DEAD
+        assert membership.evictions == 1
+        assert membership.participants() == [0, 2]
+
+    def test_observe_resets_the_miss_streak(self):
+        membership = Membership(2, evict_after=3)
+        membership.miss(0)
+        membership.miss(0)
+        membership.observe(0, 1.0)
+        assert membership.missed[0] == 0
+        membership.miss(0)
+        assert membership.state(0) is WorkerState.SUSPECT  # streak restarted
+
+    def test_dead_stays_dead_until_readmit(self):
+        membership = Membership(2, evict_after=1)
+        membership.miss(1)
+        assert membership.is_dead(1)
+        assert membership.observe(1, 1.0) is WorkerState.DEAD
+        assert membership.miss(1) is WorkerState.DEAD
+        assert membership.evictions == 1  # not re-evicted
+
+    def test_readmit(self):
+        membership = Membership(2, evict_after=1)
+        membership.miss(1)
+        membership.readmit(1)
+        assert membership.state(1) is WorkerState.ALIVE
+        assert membership.rejoins == 1
+        assert membership.participants() == [0, 1]
+        # stale history was discarded: no instant suspicion
+        assert membership.phi(1, 50.0) == 0.0
+
+    def test_readmit_requires_dead(self):
+        membership = Membership(2)
+        with pytest.raises(ValueError, match="not dead"):
+            membership.readmit(0)
+
+    def test_slow_responder_goes_suspect(self):
+        membership = Membership(2, suspect_phi=3.0)
+        for _ in range(16):
+            membership.observe(0, 1.0)
+        assert membership.observe(0, 10.0) is WorkerState.SUSPECT
+        assert membership.observe(0, 1.0) is WorkerState.ALIVE
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        membership = Membership(3, evict_after=2)
+        membership.observe(0, 1.0)
+        membership.observe(0, 1.1)
+        membership.miss(1)
+        membership.miss(1)
+        restored = Membership(3, evict_after=2)
+        restored.load_state_dict(membership.state_dict())
+        assert restored.state(1) is WorkerState.DEAD
+        assert restored.evictions == 1
+        assert restored.missed == membership.missed
+        assert restored.phi(0, 2.0) == membership.phi(0, 2.0)

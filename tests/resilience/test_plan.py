@@ -1,0 +1,92 @@
+"""WorkerFaultPlan and ResilienceConfig: fault windows on the modeled clock."""
+
+import math
+
+import pytest
+
+from repro.faults import FaultSpec, scenario_by_name
+from repro.resilience import ResilienceConfig, WorkerFaultPlan
+
+
+def crash(rank, start, stop=None):
+    return FaultSpec("crash", f"worker:{rank}", start_s=start, stop_s=stop)
+
+
+def straggler(rank, start, stop, rate=1.0, factor=4.0):
+    return FaultSpec(
+        "straggler",
+        f"worker:{rank}",
+        start_s=start,
+        stop_s=stop,
+        rate=rate,
+        jitter_s=1e-3,
+        slow_factor=factor,
+    )
+
+
+class TestWorkerFaultPlan:
+    def test_rejects_non_worker_specs(self):
+        with pytest.raises(ValueError, match="worker-scoped"):
+            WorkerFaultPlan(specs=(FaultSpec("corrupt", "s0->s1", rate=0.1),))
+
+    def test_crash_window(self):
+        plan = WorkerFaultPlan(specs=(crash(1, start=2.0, stop=5.0),))
+        assert not plan.crashed(1, 1.0)
+        assert plan.crashed(1, 3.0)
+        assert not plan.crashed(1, 6.0)
+        assert not plan.crashed(0, 3.0)  # other workers unaffected
+
+    def test_open_ended_crash(self):
+        plan = WorkerFaultPlan(specs=(crash(1, start=2.0),))
+        assert plan.crashed(1, 1e9)
+
+    def test_round_time_inf_while_crashed(self):
+        plan = WorkerFaultPlan(specs=(crash(1, start=0.0),))
+        assert math.isinf(plan.round_time(1, 0.1, now_s=1.0))
+        assert plan.round_time(0, 0.1, now_s=1.0) == pytest.approx(0.1)
+
+    def test_straggler_expected_slowdown(self):
+        # rate 0.5 at slow_factor 4 -> expected stretch 1 + 0.5*3 = 2.5
+        plan = WorkerFaultPlan(
+            specs=(straggler(2, 0.0, 10.0, rate=0.5, factor=4.0),)
+        )
+        assert plan.slow_factor(2, 5.0) == pytest.approx(2.5)
+        assert plan.round_time(2, 0.1, now_s=5.0) == pytest.approx(0.25)
+        assert plan.slow_factor(2, 20.0) == pytest.approx(1.0)  # window closed
+
+    def test_overlapping_stragglers_compound(self):
+        plan = WorkerFaultPlan(
+            specs=(
+                straggler(0, 0.0, 10.0, rate=1.0, factor=2.0),
+                straggler(0, 0.0, 10.0, rate=1.0, factor=3.0),
+            )
+        )
+        assert plan.slow_factor(0, 1.0) == pytest.approx(6.0)
+
+    def test_from_scenario_picks_worker_specs_only(self):
+        plan = WorkerFaultPlan.from_scenario(scenario_by_name("worker-crash"))
+        assert len(plan.specs) == 1
+        assert plan.specs[0].fault == "crash"
+        plan = WorkerFaultPlan.from_scenario(scenario_by_name("flaky-link"))
+        assert plan.specs == ()
+
+
+class TestResilienceConfig:
+    def test_defaults(self):
+        config = ResilienceConfig()
+        assert config.plan.specs == ()
+        assert config.rejoin
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="deadline_factor"):
+            ResilienceConfig(deadline_factor=1.0)
+        with pytest.raises(ValueError, match="evict_after"):
+            ResilienceConfig(evict_after=0)
+
+    def test_from_scenario(self):
+        config = ResilienceConfig.from_scenario(
+            scenario_by_name("straggler-storm"), error_feedback=True
+        )
+        assert config.error_feedback
+        assert all(s.fault == "straggler" for s in config.plan.specs)
+        assert len(config.plan.specs) == 2
