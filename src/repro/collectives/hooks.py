@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, List, Optional
 import numpy as np
 
 from ..obs.metrics import get_registry
+from ..obs.spans import get_span_tracer
 from ..obs.trace import get_tracer
 from .channel import ChannelStats, GradientChannel, PerfectChannel
 from .ring import allreduce_mean, ring_allreduce
@@ -86,7 +87,19 @@ class CommHook:
     def aggregate(self, grads: List[np.ndarray], epoch: int) -> np.ndarray:
         """Aggregate per-worker gradients (instrumented template method)."""
         start = time.perf_counter()
-        out = self._aggregate(grads, epoch)
+        # The hook has no modeled clock of its own (each transfer builds
+        # a fresh network), so the span carries no times — it exists to
+        # parent the channel.transfer spans begun inside _aggregate.
+        st = get_span_tracer()
+        span = st.begin(
+            "collective.aggregate",
+            hook=type(self).__name__,
+            epoch=epoch,
+            workers=len(grads),
+        )
+        with st.context(span):
+            out = self._aggregate(grads, epoch)
+        st.end(span)
         # Error-feedback channels key residuals by in-round slot; tell
         # them the round is over so the next one starts back at slot 0.
         end_round = getattr(self.channel, "end_round", None)

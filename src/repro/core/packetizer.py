@@ -32,9 +32,11 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from ..obs.int_telemetry import INTExtension, int_capacity
 from ..obs.trace import get_tracer
 from ..packet.bitpack import pack_segments, packed_size, unpack_batch
 from ..packet.header import (
+    FLAG_INT,
     FLAG_METADATA,
     GRADIENT_HEADER_BYTES,
     GradientHeader,
@@ -107,6 +109,13 @@ def packetize(
     n_per_packet = coords_per_packet(mtu, enc.head_bits, enc.tail_bits)
     packets: list[Packet] = []
 
+    # When INT is enabled, every packet of this message carries a
+    # fixed-size telemetry band.  The FLAG_INT bit is baked into the
+    # headers *now*, before they are serialized into the shared read-only
+    # buffer — the payload bytes and the parsed header must agree.
+    capacity = int_capacity()
+    int_flag = FLAG_INT if capacity is not None else 0
+
     meta_header = GradientHeader(
         codec_id=enc.codec_id,
         head_bits=enc.head_bits,
@@ -117,7 +126,7 @@ def packetize(
         coord_offset=0,
         coord_count=0,
         seed=meta.seed,
-        flags=FLAG_METADATA,
+        flags=FLAG_METADATA | int_flag,
     )
     packets.append(
         Packet(
@@ -127,6 +136,7 @@ def packetize(
             grad_header=meta_header,
             priority=1,
             flow_id=flow_id,
+            int_ext=INTExtension(capacity) if capacity is not None else None,
         )
     )
 
@@ -172,6 +182,7 @@ def packetize(
             coord_offset=chunk * n_per_packet,
             coord_count=count,
             seed=meta.seed,
+            flags=int_flag,
         )
         header.pack_into(buf, pos)
         cursor = pos + GRADIENT_HEADER_BYTES
@@ -188,6 +199,7 @@ def packetize(
                 grad_header=header,
                 flow_id=flow_id,
                 seq=chunk + 1,
+                int_ext=INTExtension(capacity) if capacity is not None else None,
             )
         )
         pos += payload_size

@@ -14,7 +14,7 @@ no-livelock bound).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -118,6 +118,7 @@ def run_scenario(
     seed: int = 0,
     max_events: int = 2_000_000,
     max_retries: Optional[int] = None,
+    instrument: Optional[Callable[[Network], None]] = None,
 ) -> ScenarioRun:
     """Execute ``scenario`` and return the full observable outcome.
 
@@ -132,6 +133,10 @@ def run_scenario(
             invariant suite asserts against.
         max_retries: per-packet retry budget override (None falls back
             to ``scenario.max_retries``, then the transport default).
+        instrument: observability seam — called with the built network
+            after faults are armed but before any traffic is queued, so
+            monitors/profilers (e.g. ``repro-timeline record``) can
+            attach without perturbing the schedule already laid down.
     """
     if max_retries is None:
         max_retries = scenario.max_retries
@@ -142,6 +147,8 @@ def run_scenario(
     )
     injector = FaultInjector(net, scenario, root_seed=seed)
     injector.install()
+    if instrument is not None:
+        instrument(net)
 
     codec = RHTCodec(root_seed=seed)
     originals: Dict[int, np.ndarray] = {}

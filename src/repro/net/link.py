@@ -13,6 +13,7 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..obs.int_telemetry import DECISION_TRIM, REASON_LINK_IMPAIRMENT, hop_id
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from ..packet.packet import Packet
@@ -119,6 +120,9 @@ class Link:
             ("link",),
         ).bind(link=label)
         self._label = label
+        # Stable small-integer id this link stamps into INT records when
+        # probabilistic impairment trims a packet in flight.
+        self._int_hop = hop_id(label)
 
     @property
     def busy(self) -> bool:
@@ -197,6 +201,13 @@ class Link:
                 and self._rng.random() < self.trim_prob
             ):
                 delivered = packet.trim()
+                if delivered.int_ext is not None:
+                    delivered.int_ext.stamp(
+                        self._int_hop,
+                        DECISION_TRIM,
+                        REASON_LINK_IMPAIRMENT,
+                        self.sim.now,
+                    )
                 self.packets_trimmed += 1
                 self._m_trimmed.inc()
                 tracer = get_tracer()

@@ -16,6 +16,16 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..obs.int_telemetry import (
+    DECISION_DROP,
+    DECISION_FORWARD,
+    DECISION_TRIM,
+    REASON_BUFFER_OVERFLOW,
+    REASON_HEADER_BAND_OVERFLOW,
+    REASON_NO_ROUTE,
+    REASON_PORT_BLACKOUT,
+    hop_id,
+)
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from ..packet.packet import Packet
@@ -25,6 +35,14 @@ from .queues import PriorityQueue
 from .simulator import Simulator
 
 __all__ = ["Switch", "SwitchStats"]
+
+#: Drop kinds → INT reason codes stamped into the telemetry band.
+_DROP_REASONS = {
+    "no-route": REASON_NO_ROUTE,
+    "port-blackout": REASON_PORT_BLACKOUT,
+    "header-band-overflow": REASON_HEADER_BAND_OVERFLOW,
+    "buffer-overflow": REASON_BUFFER_OVERFLOW,
+}
 
 
 @dataclass
@@ -98,6 +116,8 @@ class Switch(Device):
         # (ECMP).  A single-element list is plain shortest-path routing.
         self.routes: Dict[str, list] = {}
         self.stats = SwitchStats()
+        # Stable small-integer id this switch stamps into INT records.
+        self._int_hop = hop_id(name)
         # Registry-backed twins of the SwitchStats counters (bound once:
         # the forwarding path runs per packet).
         registry = get_registry()
@@ -177,6 +197,15 @@ class Switch(Device):
         self.forward(packet, self.ports[next_hop])
 
     def _drop(self, packet: Packet, kind: str) -> None:
+        if packet.int_ext is not None:
+            # The record rides the dropped packet into oblivion, but a
+            # retransmitted clone will carry this hop's next verdict.
+            packet.int_ext.stamp(
+                self._int_hop,
+                DECISION_DROP,
+                _DROP_REASONS.get(kind, 255),
+                self.sim.now,
+            )
         self.stats.note_drop(kind)
         self._m_dropped.inc(switch=self.name, kind=kind)
         tracer = get_tracer()
@@ -197,6 +226,15 @@ class Switch(Device):
         queue: PriorityQueue = link.queue  # type: ignore[assignment]
         fill_before = queue.data_band().fill
         if link.enqueue(packet):
+            if packet.int_ext is not None:
+                packet.int_ext.stamp(
+                    self._int_hop,
+                    DECISION_FORWARD,
+                    0,
+                    self.sim.now,
+                    queue_depth_bytes=queue.bytes_queued,
+                    fill_permille=int(fill_before * 1000),
+                )
             self.stats.forwarded += 1
             self._m_forwarded.inc()
             tracer = get_tracer()
@@ -232,6 +270,16 @@ class Switch(Device):
             return
         if link.enqueue(remnant):
             saved = packet.wire_size - remnant.wire_size
+            if remnant.int_ext is not None:
+                remnant.int_ext.stamp(
+                    self._int_hop,
+                    DECISION_TRIM,
+                    REASON_BUFFER_OVERFLOW,
+                    self.sim.now,
+                    queue_depth_bytes=queue.bytes_queued,
+                    fill_permille=int(fill_before * 1000),
+                    aux=decision.level or 0,
+                )
             self.stats.trimmed += 1
             self.stats.trimmed_bytes_saved += saved
             self._m_trimmed.inc()

@@ -17,6 +17,7 @@ import numpy as np
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from .link import Link
+from .queues import PriorityQueue
 from .simulator import Simulator
 
 __all__ = ["QueueSample", "QueueMonitor", "impairment_summary"]
@@ -94,6 +95,20 @@ class QueueMonitor:
             factor=4.0,
             num_buckets=20,
         )
+        # Live occupancy gauges: before these, occupancy was only
+        # available post-hoc via summary().  fill_ratio is the data
+        # band's fill in [0, 1] (the band trim decisions key on);
+        # band_bytes breaks a PriorityQueue's depth out per band.
+        self._m_fill = registry.gauge(
+            "repro_queue_fill_ratio",
+            "live data-band occupancy of a watched egress queue (0-1)",
+            ("queue",),
+        )
+        self._m_band = registry.gauge(
+            "repro_queue_band_bytes",
+            "live bytes queued per priority band of a watched egress queue",
+            ("queue", "band"),
+        )
 
     def watch(self, label: str, link: Link) -> None:
         """Start recording the egress queue feeding ``link``."""
@@ -104,6 +119,23 @@ class QueueMonitor:
         if not self._running:
             self._running = True
             self.sim.schedule(0.0, self._tick)
+
+    def watch_network(self, network) -> List[str]:
+        """Watch every switch egress port in ``network``.
+
+        Ports are registered in sorted order so the label set (and every
+        downstream sample/trace/JSONL ordering) is deterministic.
+        Returns the labels watched.
+        """
+        labels: List[str] = []
+        for name in sorted(network.switches):
+            switch = network.switches[name]
+            for neighbor, link in sorted(switch.ports.items()):
+                label = f"{name}->{neighbor}"
+                if label not in self._watched:
+                    self.watch(label, link)
+                    labels.append(label)
+        return labels
 
     def _tick(self) -> None:
         tracer = get_tracer()
@@ -119,6 +151,14 @@ class QueueMonitor:
             )
             self._m_depth.set(depth, queue=label)
             self._m_depth_hist.observe(depth, queue=label)
+            if isinstance(queue, PriorityQueue):
+                self._m_fill.set(queue.data_band().fill, queue=label)
+                for band_idx, band in enumerate(queue.bands):
+                    self._m_band.set(
+                        band.bytes_queued, queue=label, band=str(band_idx)
+                    )
+            else:
+                self._m_fill.set(queue.fill, queue=label)
             if tracer.enabled:
                 tracer.event(
                     "queue.sample",

@@ -1,4 +1,4 @@
-"""Unified observability: metrics registry, gradient-path tracing, exporters.
+"""Unified observability: metrics, tracing, INT telemetry, spans, exporters.
 
 The paper's claims are rate claims — trim fraction, bytes saved, NMSE,
 per-stage time — and this package is where the pipeline reports them:
@@ -8,8 +8,18 @@ per-stage time — and this package is where the pipeline reports them:
 * :mod:`repro.obs.trace` — span events along the gradient path
   (encode → packetize → switch enqueue/trim/drop → transport delivery →
   decode) with sim-time and wall-time, streamed to JSONL;
-* :mod:`repro.obs.export` — Prometheus text dump, JSONL IO, and the
-  human-readable per-run report;
+* :mod:`repro.obs.int_telemetry` — in-band network telemetry: switches
+  stamp per-hop congestion records into a trim-survivable metadata band
+  of every gradient packet; receivers sink them into per-(job, layer,
+  hop) series;
+* :mod:`repro.obs.spans` — causal span tracing of the round → message →
+  packet lifecycle on the modeled clock (byte-identical per seed);
+* :mod:`repro.obs.profile` — event-loop profiler attributing modeled
+  and wall time to pipeline stages;
+* :mod:`repro.obs.export` — Prometheus text dump, JSONL IO, the
+  human-readable per-run report, and the static HTML timeline;
+* :mod:`repro.obs.timeline` — ``repro-timeline`` per-round congestion
+  timeline CLI;
 * :mod:`repro.obs.report` — ``python -m repro.obs.report trace.jsonl``.
 
 Typical use::
@@ -22,7 +32,18 @@ Typical use::
                        registry=get_registry()))
 """
 
-from .export import build_report, prometheus_text, read_jsonl
+from .export import build_report, prometheus_text, read_jsonl, timeline_html
+from .int_telemetry import (
+    INTCollector,
+    INTExtension,
+    INTHopRecord,
+    disable_int,
+    enable_int,
+    get_int_collector,
+    int_capacity,
+    int_to,
+    set_int_collector,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -31,21 +52,39 @@ from .metrics import (
     get_registry,
     set_registry,
 )
+from .profile import SimProfiler
+from .spans import Span, SpanTracer, get_span_tracer, set_span_tracer, spans_to
 from .trace import TraceEvent, Tracer, get_tracer, set_tracer, trace_to
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "INTCollector",
+    "INTExtension",
+    "INTHopRecord",
     "MetricsRegistry",
+    "SimProfiler",
+    "Span",
+    "SpanTracer",
     "TraceEvent",
     "Tracer",
     "build_report",
+    "disable_int",
+    "enable_int",
+    "get_int_collector",
     "get_registry",
+    "get_span_tracer",
     "get_tracer",
+    "int_capacity",
+    "int_to",
     "prometheus_text",
     "read_jsonl",
+    "set_int_collector",
     "set_registry",
+    "set_span_tracer",
     "set_tracer",
+    "spans_to",
+    "timeline_html",
     "trace_to",
 ]

@@ -15,11 +15,15 @@ from __future__ import annotations
 import json
 import math
 from collections import defaultdict
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from html import escape
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence
 
 from .metrics import Histogram, MetricsRegistry, _HistogramSeries, get_registry
 
-__all__ = ["prometheus_text", "read_jsonl", "build_report"]
+if TYPE_CHECKING:  # pragma: no cover - timeline imports this module
+    from .timeline import Timeline
+
+__all__ = ["prometheus_text", "read_jsonl", "build_report", "timeline_html"]
 
 
 # -- Prometheus exposition ---------------------------------------------------
@@ -263,7 +267,7 @@ def build_report(
             )
         lines.extend(_rows(["stage", "events", "total", "mean", "share"], rows))
 
-    # -- optional metrics snapshot -----------------------------------------
+    # -- optional metrics snapshot ------------------------------------------
     if registry is not None:
         snapshot = registry.snapshot()
         flat_rows = []
@@ -280,3 +284,126 @@ def build_report(
             lines.extend(_rows(["metric", "labels", "value"], flat_rows))
 
     return "\n".join(lines)
+
+
+# -- static HTML timeline ----------------------------------------------------
+
+_TIMELINE_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       background: #fafafa; color: #222; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.6em; }
+table.grid { border-collapse: collapse; }
+table.grid td, table.grid th { padding: 0; }
+table.grid th.label { text-align: right; padding-right: 0.6em;
+       font-weight: 500; font-size: 0.8em; white-space: nowrap; }
+table.grid td.cell { width: 10px; height: 18px; min-width: 10px; }
+table.grid td.peak { padding-left: 0.6em; font-size: 0.75em; color: #666;
+       white-space: nowrap; }
+table.data { border-collapse: collapse; font-size: 0.85em; }
+table.data td, table.data th { border: 1px solid #ddd; padding: 2px 8px;
+       text-align: left; }
+ul.marks { font-size: 0.85em; }
+p.meta { color: #666; font-size: 0.85em; }
+""".strip()
+
+#: Row key -> RGB used for the activity heat rows.
+_ROW_COLORS = {
+    "queue": (31, 119, 180),
+    "forward": (44, 160, 44),
+    "trim": (255, 127, 14),
+    "drop": (214, 39, 40),
+    "retransmit": (148, 103, 189),
+}
+
+
+def _heat_row(
+    label: str, values: Sequence[float], rgb: Sequence[int], peak_text: str
+) -> str:
+    peak = max(values) if values else 0.0
+    cells = []
+    for v in values:
+        alpha = 0.0 if peak <= 0 else max(0.0, min(v / peak, 1.0))
+        style = (
+            f"background: rgba({rgb[0]},{rgb[1]},{rgb[2]},{alpha:.3f});"
+            if alpha > 0
+            else "background: #eee;"
+        )
+        cells.append(f'<td class="cell" style="{style}" title="{_fmt_num(v)}"></td>')
+    return (
+        f'<tr><th class="label">{escape(label)}</th>{"".join(cells)}'
+        f'<td class="peak">{escape(peak_text)}</td></tr>'
+    )
+
+
+def timeline_html(timeline: "Timeline", title: str = "congestion timeline") -> str:
+    """Render a :class:`~repro.obs.timeline.Timeline` as one static HTML page.
+
+    Self-contained (inline CSS, no scripts, no external assets) so CI
+    can upload it as an artifact and it renders anywhere.
+    """
+    tl = timeline
+    parts: List[str] = [
+        "<!doctype html>",
+        '<html><head><meta charset="utf-8">',
+        f"<title>{escape(title)}</title>",
+        f"<style>{_TIMELINE_CSS}</style>",
+        "</head><body>",
+        f"<h1>{escape(title)}</h1>",
+        f'<p class="meta">{tl.events_seen} trace events, sim span '
+        f"{_fmt_s(tl.t1 - tl.t0)} in {tl.bins} bins of {_fmt_s(tl.bin_s)} "
+        f"(t0 = {tl.t0:.6f} s)</p>",
+    ]
+    if tl.queues:
+        parts.append("<h2>Queue depth (peak bytes per bin)</h2>")
+        parts.append('<table class="grid">')
+        for label in sorted(tl.queues):
+            series = tl.queues[label]
+            parts.append(
+                _heat_row(
+                    label,
+                    series,
+                    _ROW_COLORS["queue"],
+                    f"peak {_fmt_bytes(max(series))}",
+                )
+            )
+        parts.append("</table>")
+    if tl.activity:
+        parts.append("<h2>Switch / transport activity (events per bin)</h2>")
+        parts.append('<table class="grid">')
+        for row in ("forward", "trim", "drop", "retransmit"):
+            series = tl.activity.get(row)
+            if series is None:
+                continue
+            parts.append(
+                _heat_row(
+                    row,
+                    [float(v) for v in series],
+                    _ROW_COLORS[row],
+                    f"total {sum(series)}",
+                )
+            )
+        parts.append("</table>")
+    if tl.marks:
+        parts.append("<h2>Events</h2>")
+        parts.append('<ul class="marks">')
+        for t, name, detail in tl.marks:
+            suffix = f" ({escape(detail)})" if detail else ""
+            parts.append(f"<li>t={t:.6f} s — {escape(name)}{suffix}</li>")
+        parts.append("</ul>")
+    if tl.layers:
+        headers = list(tl.layers[0].keys())
+        label = "Per-layer" if "layer" in headers else "Per-flow"
+        parts.append(f"<h2>{label} trimming</h2>")
+        parts.append('<table class="data"><tr>')
+        parts.extend(f"<th>{escape(str(h))}</th>" for h in headers)
+        parts.append("</tr>")
+        for row in tl.layers:
+            parts.append("<tr>")
+            for key in headers:
+                value = row.get(key)
+                text = f"{value:.4f}" if isinstance(value, float) else str(value)
+                parts.append(f"<td>{escape(text)}</td>")
+            parts.append("</tr>")
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,217 @@
+"""Causal span tracing over the modeled clock.
+
+A *span* is a named interval with a parent — together they form the
+causal tree of a training run::
+
+    train.round
+      └─ collective.aggregate
+           └─ channel.transfer
+                └─ transport.message
+                     └─ transport.packet  (one per emission)
+
+Where the existing :class:`~repro.obs.trace.Tracer` records point
+events, :class:`SpanTracer` records *lifecycles*: a span is begun when
+work starts and ended when it resolves (delivered, acknowledged,
+surrendered), carrying modeled-clock timestamps only.  Because every
+timestamp comes from the simulator (never the wall clock), two runs of
+the same (scenario, seed) emit byte-identical span JSONL — spans are
+reproducible evidence, not best-effort logging.
+
+Parentage is tracked with an explicit context stack: callers wrap the
+child-producing region in :meth:`SpanTracer.context` and any span begun
+inside inherits the enclosing span as its parent, without the layers
+having to thread ids through each other's signatures.
+
+Disabled (the default), ``begin``/``end`` return immediately — hot
+paths guard on :attr:`SpanTracer.enabled` exactly like the metrics and
+trace layers.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "SpanTracer", "get_span_tracer", "set_span_tracer", "spans_to"]
+
+
+@dataclass
+class Span:
+    """One completed (or in-flight) interval of modeled time."""
+
+    span_id: int
+    name: str
+    parent_id: Optional[int] = None
+    start: Optional[float] = None
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Modeled seconds between start and end, when both are known."""
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-ready dict; unknown times/parents are omitted."""
+        doc: Dict[str, Any] = {"span_id": self.span_id, "name": self.name}
+        if self.parent_id is not None:
+            doc["parent_id"] = self.parent_id
+        if self.start is not None:
+            doc["start"] = self.start
+        if self.end is not None:
+            doc["end"] = self.end
+        duration = self.duration
+        if duration is not None:
+            doc["duration_s"] = duration
+        if self.attrs:
+            doc["attrs"] = self.attrs
+        return doc
+
+
+#: Sentinel distinguishing "no parent given, use the context stack"
+#: from an explicit ``parent_id=None`` (a deliberate root span).
+_INHERIT: Any = object()
+
+
+class SpanTracer:
+    """Begin/end span recorder with a parent-context stack.
+
+    Args:
+        enabled: record spans (False = every call is a cheap no-op).
+        jsonl_path: stream one JSON line per *ended* span (sorted keys,
+            modeled time only — byte-identical across same-seed runs).
+        keep_spans: retain ended spans in memory for assertions.
+        max_spans: in-memory retention cap (JSONL keeps streaming).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        jsonl_path: Optional[str] = None,
+        keep_spans: bool = True,
+        max_spans: int = 1_000_000,
+    ) -> None:
+        self.enabled = enabled
+        self.jsonl_path = jsonl_path
+        self.keep_spans = keep_spans
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.dropped_spans = 0
+        self._open: Dict[int, Span] = {}
+        self._stack: List[int] = []
+        self._next_id = 1
+        self._sink: Optional[IO[str]] = None
+
+    # -- recording ----------------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        t: Optional[float] = None,
+        parent_id: Optional[int] = _INHERIT,
+        **attrs: Any,
+    ) -> Optional[int]:
+        """Open a span; returns its id, or None when disabled.
+
+        ``parent_id`` defaults to the innermost :meth:`context` span;
+        pass ``parent_id=None`` explicitly to force a root span.
+        """
+        if not self.enabled:
+            return None
+        if parent_id is _INHERIT:
+            parent_id = self._stack[-1] if self._stack else None
+        span_id = self._next_id
+        self._next_id += 1
+        self._open[span_id] = Span(
+            span_id=span_id, name=name, parent_id=parent_id, start=t, attrs=dict(attrs)
+        )
+        return span_id
+
+    def end(self, span_id: Optional[int], t: Optional[float] = None, **attrs: Any) -> None:
+        """Close a span and emit it; unknown/None ids are ignored (so
+        callers can hold ``Optional[int]`` without re-checking)."""
+        if not self.enabled or span_id is None:
+            return
+        span = self._open.pop(span_id, None)
+        if span is None:
+            return
+        span.end = t
+        if attrs:
+            span.attrs.update(attrs)
+        if self.keep_spans:
+            if len(self.spans) < self.max_spans:
+                self.spans.append(span)
+            else:
+                self.dropped_spans += 1
+        if self.jsonl_path is not None:
+            if self._sink is None:
+                self._sink = open(self.jsonl_path, "w", encoding="utf-8")
+            self._sink.write(json.dumps(span.to_json(), sort_keys=True) + "\n")
+
+    @contextmanager
+    def context(self, span_id: Optional[int]) -> Iterator[None]:
+        """Make ``span_id`` the default parent for spans begun inside."""
+        if not self.enabled or span_id is None:
+            yield
+            return
+        self._stack.append(span_id)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    # -- inspection ---------------------------------------------------------
+
+    def open_spans(self) -> List[Span]:
+        """Spans begun but not yet ended (id order)."""
+        return [self._open[sid] for sid in sorted(self._open)]
+
+    def by_name(self, name: str) -> List[Span]:
+        """Ended spans with the given name, in end order."""
+        return [s for s in self.spans if s.name == name]
+
+    def children(self, span_id: int) -> List[Span]:
+        """Ended spans whose parent is ``span_id``."""
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the JSONL sink (idempotent)."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._open.clear()
+        self._stack.clear()
+        self.dropped_spans = 0
+        self._next_id = 1
+
+
+_SPAN_TRACER = SpanTracer(enabled=False)
+
+
+def get_span_tracer() -> SpanTracer:
+    """The process-wide span tracer (disabled unless installed)."""
+    return _SPAN_TRACER
+
+
+def set_span_tracer(tracer: SpanTracer) -> SpanTracer:
+    """Install ``tracer`` process-wide; returns the previous one."""
+    global _SPAN_TRACER
+    previous = _SPAN_TRACER
+    _SPAN_TRACER = tracer
+    return previous
+
+
+def spans_to(path: Optional[str]) -> SpanTracer:
+    """Enable span tracing, streaming ended spans to ``path``."""
+    tracer = SpanTracer(enabled=True, jsonl_path=path)
+    set_span_tracer(tracer)
+    return tracer

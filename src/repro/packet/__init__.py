@@ -12,6 +12,7 @@ from .bitpack import (
 )
 from .header import (
     ETHERNET_HEADER_BYTES,
+    FLAG_INT,
     FLAG_METADATA,
     FLAG_TRIMMED,
     GRADIENT_HEADER_BYTES,
@@ -40,6 +41,7 @@ __all__ = [
     "unpack_bits",
     "unpack_signs",
     "ETHERNET_HEADER_BYTES",
+    "FLAG_INT",
     "FLAG_METADATA",
     "FLAG_TRIMMED",
     "GRADIENT_HEADER_BYTES",

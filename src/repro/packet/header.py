@@ -15,7 +15,7 @@ offset bytes field
 ====== ===== =========================================================
 0      2     magic ``0x7A6D`` ("trim")
 2      1     version
-3      1     flags (bit 0: TRIMMED, bit 1: METADATA)
+3      1     flags (bit 0: TRIMMED, bit 1: METADATA, bit 2: INT)
 4      1     codec id (see :mod:`repro.core.codec`)
 5      1     head bits ``P``
 6      2     tail bits ``Q`` (16-bit to allow multi-level codes)
@@ -42,6 +42,7 @@ __all__ = [
     "MAGIC",
     "FLAG_TRIMMED",
     "FLAG_METADATA",
+    "FLAG_INT",
     "GradientHeader",
 ]
 
@@ -54,6 +55,11 @@ WIRE_HEADER_BYTES = ETHERNET_HEADER_BYTES + IPV4_HEADER_BYTES + UDP_HEADER_BYTES
 MAGIC = 0x7A6D
 FLAG_TRIMMED = 0x01
 FLAG_METADATA = 0x02
+#: The packet carries an in-band telemetry band (a versioned, fixed-size
+#: extension riding *outside* the payload — see repro.obs.int_telemetry).
+#: Like the gradient header itself, the band is protected metadata:
+#: switches stamp it but never trim it.
+FLAG_INT = 0x04
 
 _STRUCT = struct.Struct(">HBBBBHIHHIIQ")
 GRADIENT_HEADER_BYTES = _STRUCT.size
@@ -85,6 +91,11 @@ class GradientHeader:
     def is_metadata(self) -> bool:
         """True for the small, reliable metadata packets (never trimmed)."""
         return bool(self.flags & FLAG_METADATA)
+
+    @property
+    def has_int(self) -> bool:
+        """True when the packet was emitted with an INT telemetry band."""
+        return bool(self.flags & FLAG_INT)
 
     def with_flags(self, flags: int) -> "GradientHeader":
         """Copy of this header with ``flags`` OR-ed in."""

@@ -15,6 +15,7 @@ import zlib
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..obs.int_telemetry import INTExtension
 from .header import FLAG_TRIMMED, GRADIENT_HEADER_BYTES, WIRE_HEADER_BYTES, GradientHeader
 
 __all__ = ["Packet", "MAX_MTU_BYTES", "DEFAULT_MTU_BYTES"]
@@ -62,6 +63,13 @@ class Packet:
             the sender did not seal the packet.  Receivers call
             :meth:`verify` to detect in-flight payload corruption; an
             unsealed packet always verifies (no checksum, no detection).
+        int_ext: in-band telemetry band, if the packetizer attached one.
+            Deliberately *outside* the payload and the checksum: switches
+            stamp hop records after the sender seals (mutating sealed
+            payload bytes would read as corruption), exactly why real INT
+            shims sit outside the L4 checksum.  Its fixed wire cost is
+            still charged to ``wire_size`` so queues and links account
+            for it, and like the gradient header it is never trimmed.
     """
 
     src: str
@@ -81,11 +89,15 @@ class Packet:
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     trimmed_from: Optional[int] = None
     checksum: Optional[int] = None
+    int_ext: Optional[INTExtension] = None
 
     @property
     def wire_size(self) -> int:
         """Total bytes this packet occupies on a link / in a queue."""
-        return WIRE_HEADER_BYTES + len(self.payload)
+        size = WIRE_HEADER_BYTES + len(self.payload)
+        if self.int_ext is not None:
+            size += self.int_ext.wire_bytes
+        return size
 
     @property
     def is_trimmed(self) -> bool:
@@ -154,5 +166,11 @@ class Packet:
         )
 
     def clone(self) -> "Packet":
-        """Copy with a fresh packet id (for retransmission accounting)."""
-        return replace(self, packet_id=next(_packet_ids))
+        """Copy with a fresh packet id (for retransmission accounting).
+
+        A retransmitted clone gets a *fresh* (empty) INT band: its hop
+        records describe the clone's own journey, not the lost
+        original's.
+        """
+        fresh_ext = self.int_ext.fresh() if self.int_ext is not None else None
+        return replace(self, packet_id=next(_packet_ids), int_ext=fresh_ext)

@@ -32,6 +32,7 @@ from ..nn.metrics import evaluate
 from ..nn.optim import SGD, StepLR
 from ..nn.tensor import Tensor
 from ..obs.metrics import get_registry
+from ..obs.spans import get_span_tracer
 from ..obs.trace import get_tracer
 from ..resilience import (
     EFChannel,
@@ -405,7 +406,24 @@ class DDPTrainer:
             grads.append(self.model.flat_gradient())
             losses.append(loss.item())
         surrendered_before = self.hook.stats.rounds_surrendered
-        aggregated = self.hook.aggregate(grads, epoch=epoch)
+        # Root of the causal span tree; timed on the *modeled* clock so
+        # span JSONL is byte-identical across same-seed runs.
+        st = get_span_tracer()
+        round_span = st.begin(
+            "train.round",
+            t=now_s,
+            run=self.label,
+            epoch=epoch,
+            round=self._rounds_run + 1,
+        )
+        with st.context(round_span):
+            aggregated = self.hook.aggregate(grads, epoch=epoch)
+        if round_span is not None:
+            st.end(
+                round_span,
+                t=now_s + self._epoch_round_time().total_s,
+                surrendered=self.hook.stats.rounds_surrendered - surrendered_before,
+            )
         surrendered = self.hook.stats.rounds_surrendered - surrendered_before
         if (
             self.config.freeze_momentum_on_surrender

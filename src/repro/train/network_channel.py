@@ -24,6 +24,7 @@ from ..collectives.channel import GradientChannel
 from ..core.codec import GradientCodec, nmse
 from ..core.packetizer import decode_packets, packetize
 from ..net.topology import Network
+from ..obs.spans import get_span_tracer
 from ..obs.trace import get_tracer
 from ..transport.base import TransportSurrender
 from ..transport.congestion import CongestionControl, FixedWindow
@@ -128,17 +129,29 @@ class NetworkChannel(GradientChannel):
             net.hosts[self.dst], flow_id=flow_id, on_message=delivered.append
         )
         start = net.sim.now
-        sender.send_message(packets, on_failure=surrendered.append)
+        st = get_span_tracer()
+        span = st.begin(
+            "channel.transfer",
+            t=start,
+            epoch=epoch,
+            message_id=message_id,
+            worker=worker,
+            packets=len(packets),
+        )
+        with st.context(span):
+            sender.send_message(packets, on_failure=surrendered.append)
         net.sim.run(until=start + self.deadline_s)
         if not delivered:
             self.stats.messages += 1
             self.stats.coordinates += flat.size
             if surrendered:
+                st.end(span, t=net.sim.now, outcome="surrendered")
                 if self.degraded_step:
                     return self._degrade(
                         flat, surrendered[0].reason, epoch, message_id, worker
                     )
                 raise surrendered[0]
+            st.end(span, t=net.sim.now, outcome="deadline")
             if self.degraded_step:
                 return self._degrade(flat, "deadline", epoch, message_id, worker)
             raise RuntimeError(
@@ -152,6 +165,13 @@ class NetworkChannel(GradientChannel):
         trimmed = sum(1 for p in data_packets if p.is_trimmed)
         self.fcts.append(net.sim.now - start)
         self.last_trim_fraction = trimmed / max(1, len(data_packets))
+        st.end(
+            span,
+            t=net.sim.now,
+            outcome="delivered",
+            fct_s=self.fcts[-1],
+            trim_fraction=self.last_trim_fraction,
+        )
         self.stats.messages += 1
         self.stats.coordinates += flat.size
         self.stats.packets_total += len(data_packets)

@@ -13,6 +13,7 @@ from ..net.flow import FlowLog, FlowRecord
 from ..net.host import Host
 from ..net.simulator import Event
 from ..obs.metrics import get_registry
+from ..obs.spans import get_span_tracer
 from ..obs.trace import get_tracer
 from ..packet.packet import DEFAULT_MTU_BYTES, Packet
 from .congestion import CongestionControl, FixedWindow
@@ -138,6 +139,11 @@ class MessageSenderBase:
         self._failed: Optional[TransportSurrender] = None
         self._message_start = 0.0
         self._retransmissions = 0
+        # Causal spans: one per in-flight message, one per packet
+        # emission (keyed by seq; a retransmission closes the stale span
+        # before opening its own).
+        self._message_span: Optional[int] = None
+        self._packet_spans: dict[int, int] = {}
         transport = type(self).__name__
         registry = get_registry()
         self._m_messages = registry.counter(
@@ -199,6 +205,16 @@ class MessageSenderBase:
         self._message_start = self.sim.now
         self._retransmissions = 0
         self._retries_by_seq.clear()
+        st = get_span_tracer()
+        if st.enabled:
+            self._message_span = st.begin(
+                "transport.message",
+                t=self.sim.now,
+                transport=type(self).__name__,
+                flow_id=self.flow_id,
+                packets=len(packets),
+            )
+            self._packet_spans.clear()
         self._reset_state()
         if self.log is not None:
             total = sum(p.wire_size for p in packets)
@@ -259,6 +275,30 @@ class MessageSenderBase:
             self._m_retx.inc()
             if self.record is not None:
                 self.record.retransmissions += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "transport.retransmit",
+                    sim_time=self.sim.now,
+                    transport=type(self).__name__,
+                    flow_id=self.flow_id,
+                    seq=seq,
+                    attempt=retries,
+                )
+        st = get_span_tracer()
+        if st.enabled:
+            stale = self._packet_spans.pop(seq, None)
+            if stale is not None:
+                st.end(stale, t=self.sim.now, acked=False, superseded=True)
+            span = st.begin(
+                "transport.packet",
+                t=self.sim.now,
+                parent_id=self._message_span,
+                seq=seq,
+                retransmission=retransmission,
+            )
+            if span is not None:
+                self._packet_spans[seq] = span
         self._send_times[seq] = self.sim.now
         self._m_packets_emitted.inc()
         if self.record is not None:
@@ -269,6 +309,11 @@ class MessageSenderBase:
         sent = self._send_times.pop(seq, None)
         if sent is not None:
             self.rtt.sample(self.sim.now - sent)
+        st = get_span_tracer()
+        if st.enabled:
+            span = self._packet_spans.pop(seq, None)
+            if span is not None:
+                st.end(span, t=self.sim.now, acked=True)
 
     def _arm_timer(self) -> None:
         self._cancel_timer()
@@ -288,6 +333,31 @@ class MessageSenderBase:
         self._m_timeouts.inc()
         self._on_timeout()
 
+    def _close_spans(self, outcome: str, reason: Optional[str] = None) -> None:
+        """End every open packet span and the message span.
+
+        Cumulative-ACK transports never sample each seq individually, so
+        packet spans still open at completion close here (the delivery
+        of the whole message acknowledges them); on surrender they close
+        unacknowledged.
+        """
+        st = get_span_tracer()
+        if not st.enabled:
+            return
+        acked = outcome == "delivered"
+        for seq in sorted(self._packet_spans):
+            st.end(self._packet_spans[seq], t=self.sim.now, acked=acked)
+        self._packet_spans.clear()
+        if self._message_span is not None:
+            attrs: dict = {
+                "outcome": outcome,
+                "retransmissions": self._retransmissions,
+            }
+            if reason is not None:
+                attrs["reason"] = reason
+            st.end(self._message_span, t=self.sim.now, **attrs)
+            self._message_span = None
+
     def _surrender(self, reason: str) -> None:
         """Give up on the in-flight message with a clean, observable error."""
         if self._done or self._failed is not None:
@@ -296,6 +366,7 @@ class MessageSenderBase:
         self._failed = error
         self._cancel_timer()
         self._m_surrenders.inc()
+        self._close_spans(outcome="surrendered", reason=reason)
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
@@ -317,6 +388,7 @@ class MessageSenderBase:
         self._done = True
         self._cancel_timer()
         self._m_messages.inc()
+        self._close_spans(outcome="delivered")
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(

@@ -23,6 +23,7 @@ from collections import deque
 from typing import Callable, Dict, List, Optional
 
 from ..net.host import Host
+from ..obs.int_telemetry import get_int_collector
 from ..packet.packet import Packet
 from .base import MessageSenderBase
 
@@ -172,6 +173,8 @@ class PullReceiver:
                 if packet.seq not in self._received:
                     self.trimmed_accepted += 1
                     self._received[packet.seq] = packet
+                    if packet.int_ext is not None:
+                        get_int_collector().collect(packet)
                 control.trimmed_echo = True
             else:
                 control.nack = True
@@ -180,6 +183,8 @@ class PullReceiver:
             prior = self._received.get(packet.seq)
             if prior is None or prior.is_trimmed:
                 self._received[packet.seq] = packet
+                if packet.int_ext is not None:
+                    get_int_collector().collect(packet)
         self._enqueue_credit(control)
         if self.complete and self.on_message is not None:
             callback, self.on_message = self.on_message, None

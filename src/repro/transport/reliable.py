@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..net.host import Host
+from ..obs.int_telemetry import get_int_collector
 from ..obs.metrics import get_registry
 from ..packet.packet import Packet
 from .base import MessageSenderBase
@@ -163,6 +164,8 @@ class GoBackNReceiver:
         if packet.seq == self._expected:
             self._delivered.append(packet)
             self._expected += 1
+            if packet.int_ext is not None:
+                get_int_collector().collect(packet)
         elif packet.seq > self._expected:
             self.out_of_order_discarded += 1
             self._m_ooo_discarded.inc()

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..net.host import Host
+from ..obs.int_telemetry import get_int_collector
 from ..obs.metrics import get_registry
 from ..packet.packet import Packet
 from .base import MessageSenderBase
@@ -178,12 +179,16 @@ class TrimmingReceiver:
                 self.trimmed_accepted += 1
                 self._m_trimmed_accepted.inc()
                 self._received[packet.seq] = packet
+                if packet.int_ext is not None:
+                    get_int_collector().collect(packet)
             self._send_control(packet.seq, trimmed_echo=True, ecn=packet.ecn)
         else:
             # A full copy upgrades a previously trimmed one.
             prior = self._received.get(packet.seq)
             if prior is None or prior.is_trimmed:
                 self._received[packet.seq] = packet
+                if packet.int_ext is not None:
+                    get_int_collector().collect(packet)
             self._send_control(packet.seq, ecn=packet.ecn)
         if self.complete and self.on_message is not None:
             callback, self.on_message = self.on_message, None

@@ -1,0 +1,123 @@
+"""INT telemetry under adversity: every fault preset, zero loss on delivery.
+
+The contract: for any preset in the chaos matrix, every packet the
+transport actually *delivers* carries a well-formed INT band with at
+least one hop record (the band is protected metadata — trimming,
+reordering and corruption recovery must never cost telemetry), and two
+runs of the same (scenario, seed) produce byte-identical INT and span
+JSONL streams.
+"""
+
+import pytest
+
+from repro.faults import PRESETS, run_scenario
+from repro.faults.harness import TRANSPORTS
+from repro.obs.int_telemetry import (
+    INTCollector,
+    INTExtension,
+    disable_int,
+    enable_int,
+    set_int_collector,
+)
+from repro.obs.spans import SpanTracer, set_span_tracer
+
+STEP_BOUND = 400_000
+
+PRESET_NAMES = sorted(PRESETS)
+
+
+def run_with_int(preset, transport="trimming", seed=7, int_path=None, spans_path=None):
+    """One scenario run with INT (and optionally span) telemetry armed."""
+    collector = INTCollector(enabled=True, jsonl_path=int_path)
+    prev_collector = set_int_collector(collector)
+    prev_spans = None
+    if spans_path is not None:
+        prev_spans = set_span_tracer(SpanTracer(enabled=True, jsonl_path=spans_path))
+    enable_int()
+    try:
+        run = run_scenario(
+            PRESETS[preset], transport=transport, seed=seed, max_events=STEP_BOUND
+        )
+    finally:
+        collector.close()
+        set_int_collector(prev_collector)
+        if prev_spans is not None:
+            tracer = set_span_tracer(prev_spans)
+            tracer.close()
+        disable_int()
+    return run, collector
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One shared trimming-transport run per preset (simulations dominate)."""
+    return {preset: run_with_int(preset) for preset in PRESET_NAMES}
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+class TestINTSurvivesPresets:
+    def test_every_delivered_packet_carries_records(self, runs, preset):
+        run, _ = runs[preset]
+        assert run.deliveries, f"{preset}: no flow delivered at all"
+        for flow, packets in run.deliveries.items():
+            for pkt in packets:
+                ext = pkt.int_ext
+                assert ext is not None, f"{preset}: flow {flow} lost its INT band"
+                assert ext.records, (
+                    f"{preset}: flow {flow} seq {pkt.seq} delivered with an "
+                    f"empty INT band (telemetry loss)"
+                )
+                # Well-formed on the wire too, not just in memory.
+                assert INTExtension.from_bytes(ext.to_bytes()).records == ext.records
+
+    def test_trimmed_survivors_keep_their_stamps(self, runs, preset):
+        run, _ = runs[preset]
+        trimmed = [
+            pkt
+            for packets in run.deliveries.values()
+            for pkt in packets
+            if pkt.is_trimmed
+        ]
+        for pkt in trimmed:
+            # A trim verdict was stamped by whichever device cut it.
+            assert any(r.decision != 0 for r in pkt.int_ext.records) or pkt.int_ext.records
+
+    def test_collector_saw_the_deliveries(self, runs, preset):
+        run, collector = runs[preset]
+        delivered = sum(len(p) for p in run.deliveries.values())
+        assert collector.packets_collected >= delivered
+        assert collector.records_collected >= delivered  # >= 1 record each
+        summary = collector.summary()
+        assert summary["series"] > 0
+
+    def test_hop_names_resolve_to_real_devices(self, runs, preset):
+        _, collector = runs[preset]
+        for name in collector.hops_seen():
+            # Interned device/link names, never the hop<N> fallback of an
+            # id that was stamped but lost its registry entry.
+            assert not name.startswith("hop"), f"{preset}: unresolvable hop {name}"
+
+    def test_bounded_work(self, runs, preset):
+        run, _ = runs[preset]
+        assert run.steps < STEP_BOUND
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_all_transports_collect(transport):
+    run, collector = run_with_int("flaky-link", transport=transport)
+    assert run.deliveries
+    assert collector.packets_collected > 0
+
+
+@pytest.mark.parametrize("preset", ["incast-plus-corruption", "reorder-heavy"])
+def test_same_seed_runs_are_byte_identical(preset, tmp_path):
+    blobs = []
+    for attempt in ("a", "b"):
+        int_path = tmp_path / f"{attempt}_int.jsonl"
+        spans_path = tmp_path / f"{attempt}_spans.jsonl"
+        run_with_int(preset, int_path=str(int_path), spans_path=str(spans_path))
+        blobs.append((int_path.read_bytes(), spans_path.read_bytes()))
+    assert blobs[0][0] == blobs[1][0], f"{preset}: INT JSONL diverged across runs"
+    assert blobs[0][1] == blobs[1][1], f"{preset}: span JSONL diverged across runs"
+    assert blobs[0][0], "determinism check vacuous: empty INT stream"
+    assert blobs[0][1], "determinism check vacuous: empty span stream"
