@@ -14,12 +14,12 @@ no-livelock bound).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core import RHTCodec, decode_packets, nmse, packetize
-from ..net import Network, dumbbell
+from ..net import Host, Network, dumbbell
 from ..packet.packet import Packet
 from ..transforms.prng import shared_generator
 from ..transport import (
@@ -27,6 +27,7 @@ from ..transport import (
     FixedWindow,
     GoBackNReceiver,
     GoBackNSender,
+    MessageSenderBase,
     PullReceiver,
     PullSender,
     TransportSurrender,
@@ -57,7 +58,7 @@ class ScenarioRun:
     deliveries: Dict[int, List[Packet]]
     delivery_calls: Dict[int, int]
     surrenders: Dict[int, str]
-    senders: Dict[int, object]
+    senders: Dict[int, MessageSenderBase]
     network: Network
     injector: FaultInjector
     sim_time: float
@@ -95,9 +96,12 @@ class ScenarioRun:
         }
 
 
-def _make_transport(transport: str, net: Network, flow: int, pair: int):
+def _make_transport(
+    transport: str, net: Network, flow: int, pair: int
+) -> Tuple[MessageSenderBase, Any, Host]:
     """One sender/receiver pair on hosts ``tx<pair>``/``rx<pair>``."""
     tx, rx = net.hosts[f"tx{pair}"], net.hosts[f"rx{pair}"]
+    sender: MessageSenderBase
     if transport == "gbn":
         sender = GoBackNSender(tx, flow_id=flow, cc=AIMD(initial_window=16))
         receiver_cls = GoBackNReceiver
@@ -155,7 +159,7 @@ def run_scenario(
     deliveries: Dict[int, List[Packet]] = {}
     delivery_calls: Dict[int, int] = {}
     surrenders: Dict[int, str] = {}
-    senders: Dict[int, object] = {}
+    senders: Dict[int, MessageSenderBase] = {}
 
     for pair in range(scenario.pairs):
         flow = FLOW_BASE + pair
@@ -164,11 +168,11 @@ def run_scenario(
             sender.max_retries = max_retries
         senders[flow] = sender
 
-        def on_message(packets: List[Packet], flow=flow) -> None:
+        def on_message(packets: List[Packet], flow: int = flow) -> None:
             delivery_calls[flow] = delivery_calls.get(flow, 0) + 1
             deliveries.setdefault(flow, packets)
 
-        def on_failure(error: TransportSurrender, flow=flow) -> None:
+        def on_failure(error: TransportSurrender, flow: int = flow) -> None:
             surrenders[flow] = error.reason
 
         receiver_cls(rx, flow_id=flow, on_message=on_message)

@@ -27,11 +27,13 @@ transient fault into a permanent one.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
-from ..net.link import DeliveryHook
+from ..net.host import Host
+from ..net.link import DeliveryHook, Link
+from ..net.topology import Network
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from ..packet.packet import Packet
@@ -57,7 +59,7 @@ class FaultInjector:
             registry as ``repro_faults_injected_total``.
     """
 
-    def __init__(self, network, scenario: Scenario, root_seed: int) -> None:
+    def __init__(self, network: Network, scenario: Scenario, root_seed: int) -> None:
         self.network = network
         self.scenario = scenario
         self.root_seed = root_seed
@@ -98,14 +100,14 @@ class FaultInjector:
 
     # -- shared plumbing --------------------------------------------------------
 
-    def _link(self, label: str):
+    def _link(self, label: str) -> Link:
         src, dst = label.split("->", 1)
         link = self.network.link_between(src, dst)
         if link is None:
             raise ValueError(f"no link {label!r} in topology")
         return link
 
-    def _record(self, fault: str, target: str, **detail) -> None:
+    def _record(self, fault: str, target: str, **detail: Any) -> None:
         self.counts[fault] = self.counts.get(fault, 0) + 1
         self._m_injected.inc(fault=fault, target=target)
         event = {"t": self.network.sim.now, "fault": fault, "target": target}
@@ -204,19 +206,18 @@ class FaultInjector:
 
     # -- worker-scoped faults ---------------------------------------------------
 
-    def _worker_host(self, spec: FaultSpec):
-        """Resolve ``worker:<rank>`` to the sender host ``tx<rank>``."""
+    def _worker_host(self, spec: FaultSpec) -> Tuple[Host, Link]:
+        """Resolve ``worker:<rank>`` to the wired host ``tx<rank>`` + uplink."""
         name = f"tx{spec.worker_rank}"
         host = self.network.hosts.get(name)
         if host is None or host.uplink is None:
             raise ValueError(f"no wired host {name!r} for target {spec.target!r}")
-        return host
+        return host, host.uplink
 
     def _install_crash(self, spec: FaultSpec) -> None:
         """Kill both directions of the worker's uplink — a dead NIC."""
-        host = self._worker_host(spec)
-        uplink = host.uplink
-        downlink = uplink.dst.ports[host.name]
+        host, uplink = self._worker_host(spec)
+        downlink = self.network.link_between(uplink.dst.name, host.name)
         sim = self.network.sim
 
         def die() -> None:
@@ -235,8 +236,8 @@ class FaultInjector:
 
     def _install_straggler(self, spec: FaultSpec, gen: np.random.Generator) -> None:
         """Slow the worker's outbound data path by a fixed extra delay."""
-        host = self._worker_host(spec)
-        label = f"{host.name}->{host.uplink.dst.name}"
+        host, uplink = self._worker_host(spec)
+        label = f"{host.name}->{uplink.dst.name}"
         sim = self.network.sim
 
         def stage(entry: Tuple[float, Packet]) -> List[Tuple[float, Packet]]:

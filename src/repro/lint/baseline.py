@@ -1,0 +1,184 @@
+"""Committed baseline of accepted findings.
+
+A finding the team has reviewed and *accepted* (with a written
+justification) lives in ``.repro-lint-baseline.json`` at the repo root;
+``repro-lint`` auto-discovers it by walking up from the linted paths and
+subtracts matching findings before deciding the exit status.  Identity
+is a line-number-independent fingerprint — ``sha256(rule :: package-
+relative path :: message)`` — so unrelated edits to the same file do not
+orphan the entry, while any change to the accepted construction itself
+(different message, moved file) resurfaces the finding for re-review.
+
+The same fingerprint is emitted as SARIF ``partialFingerprints``, so
+GitHub code scanning and the local baseline agree on which finding is
+which.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .engine import Finding, package_relative
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "finding_fingerprint",
+    "discover_baseline",
+    "DEFAULT_BASELINE_NAME",
+]
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_SCHEMA = 1
+
+
+def finding_fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding: rule + package-relative path + message."""
+    rel = package_relative(Path(finding.path))
+    blob = f"{finding.rule}::{rel}::{finding.message}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding.
+
+    Attributes:
+        fingerprint: :func:`finding_fingerprint` of the accepted finding.
+        rule: rule name (informational; the fingerprint is authoritative).
+        path: package-relative path (informational).
+        message: the accepted message (informational).
+        justification: why this violation is deliberate — required
+            non-empty when the baseline is committed.
+    """
+
+    fingerprint: str
+    rule: str = ""
+    path: str = ""
+    message: str = ""
+    justification: str = ""
+
+    def to_json(self) -> Dict[str, str]:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """The set of accepted findings, keyed by fingerprint."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = (), path: Optional[Path] = None):
+        self.path = path
+        self.entries: Dict[str, BaselineEntry] = {e.fingerprint: e for e in entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Parse a baseline file; raises ``ValueError`` on malformed input."""
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(raw, dict) or raw.get("schema") != _SCHEMA:
+            raise ValueError(f"{path}: not a repro-lint baseline (schema != {_SCHEMA})")
+        entries: List[BaselineEntry] = []
+        for record in raw.get("entries", []):
+            if not isinstance(record, dict) or "fingerprint" not in record:
+                raise ValueError(f"{path}: baseline entry missing a fingerprint")
+            entries.append(
+                BaselineEntry(
+                    fingerprint=str(record["fingerprint"]),
+                    rule=str(record.get("rule", "")),
+                    path=str(record.get("path", "")),
+                    message=str(record.get("message", "")),
+                    justification=str(record.get("justification", "")),
+                )
+            )
+        return cls(entries, path=path)
+
+    def save(self, path: Optional[Path] = None) -> None:
+        target = path or self.path
+        if target is None:
+            raise ValueError("no baseline path to save to")
+        document = {
+            "schema": _SCHEMA,
+            "entries": [
+                entry.to_json()
+                for entry in sorted(
+                    self.entries.values(), key=lambda e: (e.path, e.rule, e.fingerprint)
+                )
+            ],
+        }
+        target.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    # -- application -----------------------------------------------------------
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into (new, accepted) and report unused entries.
+
+        Returns ``(new_findings, baselined_findings, stale_entries)`` —
+        stale entries matched nothing this run (the accepted construction
+        was fixed or moved) and should be pruned from the file.
+        """
+        new: List[Finding] = []
+        accepted: List[Finding] = []
+        used: set[str] = set()
+        for finding in findings:
+            fingerprint = finding_fingerprint(finding)
+            if fingerprint in self.entries:
+                accepted.append(finding)
+                used.add(fingerprint)
+            else:
+                new.append(finding)
+        stale = [
+            entry
+            for fingerprint, entry in sorted(self.entries.items())
+            if fingerprint not in used
+        ]
+        return new, accepted, stale
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], justification: str = "TODO: justify"
+    ) -> "Baseline":
+        """Baseline accepting every given finding (for ``--write-baseline``)."""
+        entries = [
+            BaselineEntry(
+                fingerprint=finding_fingerprint(finding),
+                rule=finding.rule,
+                path=package_relative(Path(finding.path)),
+                message=finding.message,
+                justification=justification,
+            )
+            for finding in findings
+        ]
+        return cls(entries)
+
+
+def discover_baseline(paths: Sequence[Path]) -> Optional[Path]:
+    """Find ``.repro-lint-baseline.json`` walking up from the lint paths.
+
+    Starts at the first path (its directory for files) and ascends to the
+    filesystem root; the repo-root baseline is found whether the linter
+    is invoked on ``src/repro``, a single file, or the fixture tree.
+    """
+    if not paths:
+        return None
+    start = paths[0].resolve()
+    if start.is_file():
+        start = start.parent
+    for directory in (start, *start.parents):
+        candidate = directory / DEFAULT_BASELINE_NAME
+        if candidate.is_file():
+            return candidate
+    return None

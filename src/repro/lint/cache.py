@@ -1,0 +1,148 @@
+"""Incremental-analysis cache keyed by file content hash.
+
+Flow-aware analysis is strictly per-module, so a file whose bytes have
+not changed produces byte-identical findings — the cache exploits that:
+one JSON document mapping file path → (content sha256, findings).  The
+whole cache is invalidated when the *rule set* changes: the signature
+folds in every rule's name, version, severity, and scoping, so bumping
+``Rule.version`` after a behaviour change is enough to drop stale
+entries.
+
+CI persists the cache file across runs (keyed on the source tree hash);
+locally ``repro-lint --cache`` gives sub-second re-runs on a warm tree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .engine import Finding, Rule
+
+__all__ = ["LintCache", "rules_signature", "file_digest", "DEFAULT_CACHE_NAME"]
+
+#: Conventional cache file name (gitignored; CI caches it by source hash).
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+
+#: Bump to invalidate every cache regardless of rule versions (schema or
+#: engine-behaviour changes).
+_SCHEMA = 1
+
+
+def rules_signature(rules: Sequence[Rule]) -> str:
+    """Stable digest of the rule set's identity and behaviour versions."""
+    payload = [
+        {
+            "name": rule.name,
+            "version": rule.version,
+            "severity": rule.severity,
+            "scope": list(rule.scope),
+            "exempt": list(rule.exempt),
+        }
+        for rule in sorted(rules, key=lambda r: r.name)
+    ]
+    blob = json.dumps({"schema": _SCHEMA, "rules": payload}, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def file_digest(path: Path) -> Optional[str]:
+    """sha256 of the file's bytes, or None when unreadable."""
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return None
+
+
+class LintCache:
+    """Findings per file, valid while the file's content hash matches."""
+
+    def __init__(self, path: Path, signature: str) -> None:
+        self.path = path
+        self.signature = signature
+        self._files: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: Path, signature: str) -> "LintCache":
+        """Load the cache; a missing/corrupt/stale file yields an empty one."""
+        cache = cls(path, signature)
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(raw, dict) or raw.get("schema") != _SCHEMA:
+            return cache
+        if raw.get("rules_signature") != signature:
+            return cache  # rule set changed: every entry is stale
+        files = raw.get("files")
+        if isinstance(files, dict):
+            cache._files = {
+                str(key): value
+                for key, value in files.items()
+                if isinstance(value, dict)
+            }
+        return cache
+
+    def save(self) -> None:
+        """Persist atomically (write-then-rename)."""
+        document = {
+            "schema": _SCHEMA,
+            "rules_signature": self.signature,
+            "files": self._files,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+        tmp.replace(self.path)
+
+    # -- lookup ----------------------------------------------------------------
+
+    @staticmethod
+    def _key(path: Path) -> str:
+        return str(path.resolve())
+
+    def get(self, path: Path, digest: str) -> Optional[List[Finding]]:
+        """Cached findings for ``path`` at ``digest``, or None on miss."""
+        entry = self._files.get(self._key(path))
+        if entry is None or entry.get("sha256") != digest:
+            self.misses += 1
+            return None
+        raw_findings = entry.get("findings")
+        if not isinstance(raw_findings, list):
+            self.misses += 1
+            return None
+        findings: List[Finding] = []
+        for record in raw_findings:
+            if not isinstance(record, dict):
+                self.misses += 1
+                return None
+            try:
+                findings.append(
+                    Finding(
+                        rule=str(record["rule"]),
+                        path=str(record["path"]),
+                        line=int(record["line"]),
+                        col=int(record["col"]),
+                        message=str(record["message"]),
+                        severity=str(record["severity"]),
+                        hint=str(record["hint"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError):
+                self.misses += 1
+                return None
+        self.hits += 1
+        return findings
+
+    def put(self, path: Path, digest: str, findings: Sequence[Finding]) -> None:
+        self._files[self._key(path)] = {
+            "sha256": digest,
+            "findings": [finding.to_json() for finding in findings],
+        }
+
+    def prune(self, keep: Sequence[Path]) -> None:
+        """Drop entries for files outside the current lint set."""
+        wanted = {self._key(path) for path in keep}
+        self._files = {key: value for key, value in self._files.items() if key in wanted}

@@ -163,6 +163,10 @@ class Rule:
     hint: str = ""
     scope: Tuple[str, ...] = ()
     exempt: Tuple[str, ...] = ()
+    #: Bumped whenever the rule's behaviour changes; part of the
+    #: incremental-cache signature so stale cached findings never survive
+    #: a rule upgrade (see :mod:`repro.lint.cache`).
+    version: int = 1
 
     def applies_to(self, rel: str) -> bool:
         """Whether this rule runs on the module at package-relative ``rel``."""
@@ -240,10 +244,21 @@ class LintEngine:
     def lint_paths(self, paths: Iterable[Path]) -> List[Finding]:
         """Lint files and/or directory trees (``*.py``, sorted order)."""
         findings: List[Finding] = []
-        for path in paths:
-            if path.is_dir():
-                for file_path in sorted(path.rglob("*.py")):
-                    findings.extend(self.lint_file(file_path))
-            else:
-                findings.extend(self.lint_file(path))
+        for path in collect_files(paths):
+            findings.extend(self.lint_file(path))
         return findings
+
+
+def collect_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into the ordered list of ``*.py`` files.
+
+    Directories are walked recursively in sorted order; explicit file
+    arguments are kept as-is (even non-``.py`` ones — the caller asked).
+    """
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files

@@ -20,75 +20,22 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from .dataflow import ImportTracker, dotted_name
 from .engine import Finding, Rule, SourceModule
+from .flow_rules import FLOW_RULES
 
 __all__ = [
     "ALL_RULES",
     "BareRandomnessRule",
     "CodecContractRule",
     "FloatEqRule",
+    "ImportTracker",
     "MutableDefaultRule",
     "PrintCallRule",
     "WallClockInSimRule",
+    "dotted_name",
     "rules_by_name",
 ]
-
-
-def dotted_name(node: ast.AST) -> Optional[str]:
-    """``a.b.c`` for a Name/Attribute chain, else None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    parts.append(node.id)
-    return ".".join(reversed(parts))
-
-
-class ImportTracker:
-    """What local names refer to numpy / random / time / datetime.
-
-    AST-only alias resolution: ``import numpy as np`` makes ``np`` a
-    numpy alias, ``from numpy import random as npr`` makes ``npr`` a
-    ``numpy.random`` alias, ``from time import time as clock`` binds
-    ``clock`` to ``time.time``, and so on.
-    """
-
-    def __init__(self, tree: ast.Module) -> None:
-        self.module_aliases: Dict[str, str] = {}  # local name -> module dotted path
-        self.member_aliases: Dict[str, str] = {}  # local name -> module.member path
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    local = alias.asname or alias.name.split(".")[0]
-                    target = alias.name if alias.asname else alias.name.split(".")[0]
-                    self.module_aliases[local] = target
-            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-                for alias in node.names:
-                    if alias.name == "*":
-                        continue
-                    local = alias.asname or alias.name
-                    self.member_aliases[local] = f"{node.module}.{alias.name}"
-
-    def resolve_call(self, func: ast.AST) -> Optional[str]:
-        """Canonical dotted path of a called name, through import aliases.
-
-        ``np.random.rand`` → ``numpy.random.rand`` (given ``import numpy
-        as np``); a bare ``randint`` imported from :mod:`random` →
-        ``random.randint``.  Returns None for calls it cannot resolve.
-        """
-        dotted = dotted_name(func)
-        if dotted is None:
-            return None
-        head, _, rest = dotted.partition(".")
-        if head in self.member_aliases:
-            base = self.member_aliases[head]
-            return f"{base}.{rest}" if rest else base
-        if head in self.module_aliases:
-            base = self.module_aliases[head]
-            return f"{base}.{rest}" if rest else base
-        return dotted
 
 
 #: Legacy global-state samplers of ``numpy.random`` (the module-level API).
@@ -264,18 +211,22 @@ class CodecContractRule(Rule):
 
 
 class FloatEqRule(Rule):
-    """Exact ``==``/``!=`` against float literals in numeric modules."""
+    """Exact ``==``/``!=``/``is``/``is not`` against float literals."""
 
     name = "float-eq"
-    description = "no ==/!= comparison against float literals in numeric modules"
+    version = 2  # v2: also flags `is` / `is not` on float literals
+    description = "no ==/!=/is/is not comparison against float literals in numeric modules"
     hint = (
         "use np.isclose/math.isclose with an explicit tolerance, or an "
-        "ordering test (<=/>=) for sentinel values"
+        "ordering test (<=/>=) for sentinel values; `is` additionally "
+        "depends on interning and is never correct for floats"
     )
     scope = (
         "core/", "transforms/", "nn/", "baselines/", "collectives/",
         "train/", "bench/", "resilience/",
     )
+
+    _SYMBOLS = {ast.Eq: "==", ast.NotEq: "!=", ast.Is: "is", ast.IsNot: "is not"}
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
@@ -283,13 +234,18 @@ class FloatEqRule(Rule):
                 continue
             operands = [node.left, *node.comparators]
             for index, op in enumerate(node.ops):
-                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                if not isinstance(op, (ast.Eq, ast.NotEq, ast.Is, ast.IsNot)):
                     continue
                 left, right = operands[index], operands[index + 1]
                 if self._is_float_literal(left) or self._is_float_literal(right):
-                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    symbol = self._SYMBOLS[type(op)]
+                    kind = (
+                        "identity" if isinstance(op, (ast.Is, ast.IsNot)) else "exact float"
+                    )
                     yield self.finding(
-                        module, node, f"exact float comparison `{symbol}` against a float literal"
+                        module,
+                        node,
+                        f"{kind} comparison `{symbol}` against a float literal",
                     )
 
     @staticmethod
@@ -350,7 +306,8 @@ class PrintCallRule(Rule):
                 yield self.finding(module, node, "print() call in library code")
 
 
-#: Every shipped rule, in documentation order.
+#: Every shipped rule, in documentation order: the per-line invariant
+#: checks first, then the flow-aware families from :mod:`.flow_rules`.
 ALL_RULES: Tuple[Rule, ...] = (
     BareRandomnessRule(),
     WallClockInSimRule(),
@@ -358,7 +315,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     FloatEqRule(),
     MutableDefaultRule(),
     PrintCallRule(),
-)
+) + FLOW_RULES
 
 
 def rules_by_name() -> Dict[str, Rule]:

@@ -1,0 +1,133 @@
+"""SARIF 2.1.0 output for GitHub code scanning.
+
+One run, one driver (``repro-lint``), the full rule catalogue embedded
+as ``reportingDescriptor``s, and one result per finding with a stable
+``partialFingerprints`` entry (the same fingerprint the baseline file
+uses, so code scanning's alert dedup and the local baseline agree on
+identity).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .baseline import finding_fingerprint
+from .engine import Finding, Rule
+
+__all__ = ["to_sarif", "SARIF_SCHEMA_URI", "SARIF_VERSION"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_URI = "https://github.com/repro/trimmable-gradients"
+
+
+def _artifact_uri(path: str, root: Path) -> str:
+    """Repo-relative posix URI when possible (code scanning requires it)."""
+    candidate = Path(path)
+    try:
+        resolved = candidate.resolve()
+        return resolved.relative_to(root.resolve()).as_posix()
+    except (OSError, ValueError):
+        return candidate.as_posix()
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.name,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description or rule.name},
+        "help": {"text": rule.hint or rule.description or rule.name},
+        "defaultConfiguration": {
+            "level": "error" if rule.severity == "error" else "warning"
+        },
+        "properties": {
+            "scope": list(rule.scope),
+            "version": rule.version,
+        },
+    }
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    rules: Sequence[Rule],
+    root: "Path | None" = None,
+    tool_version: str = "0",
+) -> Dict[str, object]:
+    """Build the SARIF document for ``findings``.
+
+    ``root`` anchors artifact URIs (defaults to the current directory,
+    which in CI is the checkout root — exactly what code scanning
+    expects).  Findings whose rule is not in ``rules`` (e.g. the
+    synthetic ``parse-error``) get an on-the-fly descriptor.
+    """
+    base = root if root is not None else Path.cwd()
+    descriptors: List[Dict[str, object]] = [_rule_descriptor(rule) for rule in rules]
+    index_by_rule: Dict[str, int] = {rule.name: i for i, rule in enumerate(rules)}
+    severity_by_rule: Dict[str, str] = {rule.name: rule.severity for rule in rules}
+
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        if finding.rule not in index_by_rule:
+            index_by_rule[finding.rule] = len(descriptors)
+            severity_by_rule[finding.rule] = finding.severity
+            descriptors.append(
+                {
+                    "id": finding.rule,
+                    "name": finding.rule,
+                    "shortDescription": {"text": finding.rule},
+                    "defaultConfiguration": {
+                        "level": "error" if finding.severity == "error" else "warning"
+                    },
+                }
+            )
+        message = finding.message
+        if finding.hint:
+            message = f"{message} (hint: {finding.hint})"
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": index_by_rule[finding.rule],
+                "level": "error" if finding.severity == "error" else "warning",
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": _artifact_uri(finding.path, base),
+                            },
+                            "region": {
+                                "startLine": max(1, finding.line),
+                                "startColumn": max(1, finding.col),
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reproLint/v1": finding_fingerprint(finding),
+                },
+            }
+        )
+
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": _TOOL_URI,
+                        "version": tool_version,
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }

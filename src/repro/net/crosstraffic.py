@@ -12,11 +12,11 @@ The paper's setting is a *shared* fabric: training flows collide with
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional
 
-import numpy as np
-
 from ..packet.packet import Packet
+from ..transforms.prng import shared_generator
 from .host import Host
 from .simulator import Simulator
 
@@ -24,6 +24,16 @@ __all__ = ["OnOffFlow", "IncastBurst", "CROSS_TRAFFIC_FLOW_BASE"]
 
 #: Flow-id space reserved for background traffic, away from transports.
 CROSS_TRAFFIC_FLOW_BASE = 1_000_000
+
+
+def _derived_flow_id(src: str, dst: str) -> int:
+    """Stable flow id for a (src, dst) pair.
+
+    ``hash()`` on strings varies with ``PYTHONHASHSEED``, which would
+    give background flows different ids (and different trace logs) on
+    every run; CRC32 is stable across processes and platforms.
+    """
+    return CROSS_TRAFFIC_FLOW_BASE + zlib.crc32(f"{src}->{dst}".encode()) % 100_000
 
 
 class OnOffFlow:
@@ -55,12 +65,8 @@ class OnOffFlow:
         self.idle_s = idle_s
         self.packet_bytes = packet_bytes
         self.stop_at = stop_at
-        self.flow_id = (
-            flow_id
-            if flow_id is not None
-            else CROSS_TRAFFIC_FLOW_BASE + hash((src.name, dst)) % 100_000
-        )
-        self._rng = np.random.default_rng(seed)
+        self.flow_id = flow_id if flow_id is not None else _derived_flow_id(src.name, dst)
+        self._rng = shared_generator(seed, purpose="crosstraffic")
         self.packets_emitted = 0
         self._active = False
 
@@ -127,7 +133,7 @@ class IncastBurst:
         self.burst_bytes = burst_bytes
         self.packet_bytes = packet_bytes
         self.jitter_s = jitter_s
-        self._rng = np.random.default_rng(seed)
+        self._rng = shared_generator(seed, purpose="crosstraffic")
         self.flow_id_base = (
             flow_id_base if flow_id_base is not None else CROSS_TRAFFIC_FLOW_BASE + 500_000
         )

@@ -7,7 +7,7 @@ receivers acknowledge, and a retransmission timer backstops losses.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional
 
 from ..net.flow import FlowLog, FlowRecord
 from ..net.host import Host
@@ -67,7 +67,7 @@ def segment_bytes(
 class RttEstimator:
     """Jacobson-style smoothed RTT with a floor and backoff cap."""
 
-    def __init__(self, rto_min: float = 100e-6, rto_max: float = 100e-3):
+    def __init__(self, rto_min: float = 100e-6, rto_max: float = 100e-3) -> None:
         self.rto_min = rto_min
         self.rto_max = rto_max
         self.srtt: Optional[float] = None
@@ -76,7 +76,7 @@ class RttEstimator:
 
     def sample(self, rtt: float) -> None:
         """Fold one RTT measurement in and reset timeout backoff."""
-        if self.srtt is None:
+        if self.srtt is None or self.rttvar is None:
             self.srtt = rtt
             self.rttvar = rtt / 2
         else:
@@ -349,7 +349,7 @@ class MessageSenderBase:
             st.end(self._packet_spans[seq], t=self.sim.now, acked=acked)
         self._packet_spans.clear()
         if self._message_span is not None:
-            attrs: dict = {
+            attrs: dict[str, Any] = {
                 "outcome": outcome,
                 "retransmissions": self._retransmissions,
             }

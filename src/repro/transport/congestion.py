@@ -24,7 +24,7 @@ __all__ = ["CongestionControl", "FixedWindow", "AIMD", "DCTCP"]
 class CongestionControl:
     """Interface: a window measured in packets."""
 
-    def __init__(self, initial_window: float = 10.0, max_window: float = 1024.0):
+    def __init__(self, initial_window: float = 10.0, max_window: float = 1024.0) -> None:
         if initial_window < 1:
             raise ValueError("initial window must be at least 1 packet")
         self.cwnd = float(initial_window)
@@ -60,7 +60,7 @@ class AIMD(CongestionControl):
         initial_window: float = 10.0,
         max_window: float = 1024.0,
         trim_decrease: float = 0.9,
-    ):
+    ) -> None:
         super().__init__(initial_window, max_window)
         self.trim_decrease = trim_decrease
 
@@ -94,7 +94,7 @@ class DCTCP(CongestionControl):
         initial_window: float = 10.0,
         max_window: float = 1024.0,
         gain: float = 1.0 / 16.0,
-    ):
+    ) -> None:
         super().__init__(initial_window, max_window)
         self.gain = gain
         self.alpha = 0.0

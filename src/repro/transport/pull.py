@@ -20,7 +20,7 @@ window-based :mod:`repro.transport.trimming` stack:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..net.host import Host
 from ..obs.int_telemetry import get_int_collector
@@ -33,7 +33,7 @@ __all__ = ["PullSender", "PullReceiver"]
 class PullSender(MessageSenderBase):
     """Sends an initial burst, then one packet per received credit."""
 
-    def __init__(self, *args, initial_window: int = 12, **kwargs) -> None:
+    def __init__(self, *args: Any, initial_window: int = 12, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         if initial_window < 1:
             raise ValueError("initial window must be at least 1 packet")

@@ -15,7 +15,7 @@ loss, exactly like NCCL dropping a corrupted frame.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional
 
 from ..net.host import Host
 from ..obs.int_telemetry import get_int_collector
@@ -31,7 +31,7 @@ _ACK_NONE = -1  # cumulative ACK value before anything arrived
 class GoBackNSender(MessageSenderBase):
     """Window-paced sender with cumulative ACKs and window rewind."""
 
-    def __init__(self, *args, dupack_threshold: int = 3, **kwargs) -> None:
+    def __init__(self, *args: Any, dupack_threshold: int = 3, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.dupack_threshold = dupack_threshold
         self._base = 0

@@ -16,7 +16,7 @@ NDP-style selective transport that understands trimmable gradients:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..net.host import Host
 from ..obs.int_telemetry import get_int_collector
@@ -30,7 +30,7 @@ __all__ = ["TrimmingSender", "TrimmingReceiver"]
 class TrimmingSender(MessageSenderBase):
     """Selective-repeat sender that treats trims as deliveries."""
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self._acked: set[int] = set()
         self._next = 0

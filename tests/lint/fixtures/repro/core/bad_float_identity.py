@@ -1,0 +1,13 @@
+"""Fixture: != and is/is not comparisons against float literals."""
+
+
+def drifted(ratio):
+    return ratio != 0.25
+
+
+def pinned(scale):
+    return scale is 1.0
+
+
+def not_pinned(scale):
+    return scale is not 0.5

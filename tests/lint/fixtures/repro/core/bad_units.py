@@ -1,0 +1,13 @@
+"""Fixture: arithmetic and comparisons mixing bits with bytes."""
+
+
+def header_budget(header_bytes, keep_bits):
+    return header_bytes + keep_bits
+
+
+def fits(wire_size, budget_bits):
+    return wire_size <= budget_bits
+
+
+def payload_budget(payload, keep_bits):
+    return len(payload) + keep_bits

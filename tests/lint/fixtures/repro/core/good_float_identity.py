@@ -1,0 +1,13 @@
+"""Fixture: identity against None and integer equality stay legal."""
+
+
+def missing(value):
+    return value is None
+
+
+def present(value):
+    return value is not None
+
+
+def count_done(completed):
+    return completed == 3

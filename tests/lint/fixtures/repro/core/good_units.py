@@ -1,0 +1,17 @@
+"""Fixture: explicit conversions keep bit/byte arithmetic legal."""
+
+
+def header_budget(header_bytes, keep_bits):
+    return header_bytes * 8 + keep_bits
+
+
+def fits(wire_size, budget_bits):
+    return wire_size <= budget_bits // 8
+
+
+def same_unit(left_bytes, right_bytes):
+    return left_bytes + right_bytes
+
+
+def unitless(count, total):
+    return count / total

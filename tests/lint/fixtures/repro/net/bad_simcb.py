@@ -1,0 +1,12 @@
+"""Fixture: event-loop callback mutating module-level shared state."""
+
+PENDING = {}
+SEEN = []
+
+
+def watch(sim, flow_id):
+    def fire():
+        PENDING[flow_id] = sim.now
+        SEEN.append(flow_id)
+
+    sim.schedule(0.001, fire)

@@ -1,0 +1,13 @@
+"""Fixture: ad-hoc randomness flowing into the event loop across methods."""
+
+import numpy as np
+
+
+class BackgroundFlow:
+    def __init__(self, sim, seed):
+        self.sim = sim
+        self._rng = np.random.default_rng(seed)
+
+    def start(self):
+        delay = self._rng.exponential(1e-3)
+        self.sim.schedule(delay, self.start)

@@ -1,0 +1,13 @@
+"""Fixture: callback state lives on the scheduling object, not the module."""
+
+
+class Watcher:
+    def __init__(self, sim):
+        self.sim = sim
+        self.pending = {}
+
+    def watch(self, flow_id):
+        self.sim.schedule(0.001, lambda: self._record(flow_id))
+
+    def _record(self, flow_id):
+        self.pending[flow_id] = self.sim.now

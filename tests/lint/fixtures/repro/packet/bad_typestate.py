@@ -1,0 +1,42 @@
+"""Fixture: every packet-typestate violation in one module."""
+
+from repro.packet.packet import Packet
+from repro.packet.trim import trim_to_bits
+
+
+def trims_after_seal():
+    pkt = Packet(src="a", dst="b", payload=b"\x01" * 64)
+    pkt.seal()
+    pkt.trim()
+    return pkt
+
+
+def seals_twice():
+    pkt = Packet(src="a", dst="b", payload=b"\x01")
+    pkt.seal()
+    pkt.seal()
+    return pkt
+
+
+def mutates_after_seal():
+    pkt = Packet(src="a", dst="b", payload=b"\x01")
+    pkt.seal()
+    pkt.payload = b"\x02"
+    return pkt
+
+
+def trims_to_bits_after_seal():
+    pkt = Packet(src="a", dst="b", payload=b"\x01" * 64)
+    pkt.seal()
+    trim_to_bits(pkt, 128)
+    return pkt
+
+
+def sends_unsealed(host):
+    pkt = Packet(src="a", dst="b", payload=b"\x01")
+    host.send(pkt)
+
+
+def discards_verify(pkt):
+    pkt.verify()
+    return pkt

@@ -1,0 +1,32 @@
+"""Fixture: the sanctioned Packet lifecycle, clean under every rule."""
+
+from repro.packet.packet import Packet
+
+
+def build_trim_seal_send(host):
+    pkt = Packet(src="a", dst="b", payload=b"\x01" * 64)
+    pkt.trim()
+    pkt.seal()
+    host.send(pkt)
+
+
+def receive_verify_use(pkt):
+    if not pkt.verify():
+        return None
+    return pkt.payload
+
+
+def switch_trims_received(pkt):
+    # Received packets have unknown provenance: trimming them is the
+    # switch's job and must not be flagged.
+    pkt.trim()
+    return pkt
+
+
+def branch_join_is_not_flagged(host, flag):
+    pkt = Packet(src="a", dst="b", payload=b"\x01")
+    if flag:
+        pkt.seal()
+    # State is BUILT-or-SEALED here; the analysis must not guess.
+    pkt.trim()
+    return pkt

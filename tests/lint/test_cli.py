@@ -17,6 +17,10 @@ BAD_FIXTURES = [
     "core/bad_float_eq.py",
     "core/bad_mutable_default.py",
     "core/bad_print.py",
+    "core/bad_float_identity.py",
+    "core/bad_units.py",
+    "net/bad_taint.py",
+    "packet/bad_typestate.py",
 ]
 
 
@@ -26,6 +30,11 @@ def test_bad_fixture_exits_nonzero(fixture, capsys):
     out = capsys.readouterr().out
     assert "error[" in out
     assert "finding(s)" in out
+
+
+def test_warning_severity_fixture_still_gates(capsys):
+    assert main([str(FIXTURES / "net" / "bad_simcb.py")]) == 1
+    assert "warning[sim-callback-write]" in capsys.readouterr().out
 
 
 def test_good_fixture_exits_zero(capsys):
@@ -107,6 +116,8 @@ def test_mypy_strict_core_passes():
             "-p", "repro.packet",
             "-p", "repro.transforms",
             "-p", "repro.lint",
+            "-p", "repro.faults",
+            "-p", "repro.transport",
         ]
     )
     assert status == 0, stdout + stderr

@@ -1,0 +1,236 @@
+"""CLI tests for the engine upgrades: SARIF, baseline, cache, git scoping, jobs."""
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repro"
+
+BAD_PRINT = "def report(value):\n    print(value)\n"
+CLEAN = "def report(value):\n    return value\n"
+
+
+def write_module(root: Path, rel: str, text: str) -> Path:
+    target = root / "repro" / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text, encoding="utf-8")
+    return target
+
+
+# -- SARIF ---------------------------------------------------------------------
+
+
+def test_sarif_format_on_findings(capsys):
+    bad = str(FIXTURES / "core" / "bad_print.py")
+    assert main(["--format", "sarif", "--no-baseline", bad]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert run["results"], "findings must appear as results"
+    for result in run["results"]:
+        assert result["ruleId"] == "print-call"
+        assert "reproLint/v1" in result["partialFingerprints"]
+        assert result["locations"][0]["physicalLocation"]["region"]["startLine"] >= 1
+
+
+def test_sarif_format_clean_has_empty_results(capsys):
+    good = str(FIXTURES / "core" / "good_print.py")
+    assert main(["--format", "sarif", "--no-baseline", good]) == 0
+    document = json.loads(capsys.readouterr().out)
+    run = document["runs"][0]
+    assert run["results"] == []
+    assert len(run["tool"]["driver"]["rules"]) >= 10
+
+
+# -- baseline ------------------------------------------------------------------
+
+
+def test_write_baseline_then_pass(tmp_path, capsys):
+    bad = write_module(tmp_path, "core/noisy.py", BAD_PRINT)
+    baseline = tmp_path / "baseline.json"
+
+    assert main(["--no-baseline", str(bad)]) == 1
+    capsys.readouterr()
+
+    assert main(["--write-baseline", "--baseline", str(baseline), str(bad)]) == 0
+    assert baseline.is_file()
+
+    assert main(["--baseline", str(baseline), str(bad)]) == 0
+    captured = capsys.readouterr()
+    assert "baselined finding(s) suppressed" in captured.err
+
+    # The baseline must not hide the finding when explicitly disabled.
+    assert main(["--no-baseline", str(bad)]) == 1
+
+
+def test_baseline_reports_stale_entries(tmp_path, capsys):
+    bad = write_module(tmp_path, "core/noisy.py", BAD_PRINT)
+    baseline = tmp_path / "baseline.json"
+    assert main(["--write-baseline", "--baseline", str(baseline), str(bad)]) == 0
+    capsys.readouterr()
+
+    bad.write_text(CLEAN, encoding="utf-8")  # violation fixed: entry goes stale
+    assert main(["--baseline", str(baseline), str(bad)]) == 0
+    captured = capsys.readouterr()
+    assert "stale baseline entry" in captured.err
+
+
+def test_baseline_autodiscovery_walks_up(tmp_path, capsys):
+    bad = write_module(tmp_path, "core/noisy.py", BAD_PRINT)
+    baseline = tmp_path / ".repro-lint-baseline.json"
+    assert main(["--write-baseline", "--baseline", str(baseline), str(bad)]) == 0
+    capsys.readouterr()
+
+    # No --baseline flag: discovered by walking up from the lint path.
+    assert main([str(tmp_path / "repro")]) == 0
+    assert "baselined finding(s) suppressed" in capsys.readouterr().err
+
+
+def test_missing_explicit_baseline_is_usage_error(tmp_path):
+    bad = write_module(tmp_path, "core/noisy.py", BAD_PRINT)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--baseline", str(tmp_path / "nope.json"), str(bad)])
+    assert excinfo.value.code == 2
+
+
+# -- cache ---------------------------------------------------------------------
+
+
+def test_cache_cold_then_warm(tmp_path, capsys):
+    bad = write_module(tmp_path, "core/noisy.py", BAD_PRINT)
+    cache = tmp_path / "cache.json"
+
+    assert main(["--no-baseline", "--cache", str(cache), str(bad)]) == 1
+    first = capsys.readouterr()
+    assert "0 hit(s), 1 miss(es)" in first.err
+
+    assert main(["--no-baseline", "--cache", str(cache), str(bad)]) == 1
+    second = capsys.readouterr()
+    assert "1 hit(s), 0 miss(es)" in second.err
+    assert first.out == second.out, "cached findings must render identically"
+
+    bad.write_text(BAD_PRINT + "\n# touched\n", encoding="utf-8")
+    assert main(["--no-baseline", "--cache", str(cache), str(bad)]) == 1
+    assert "1 miss(es)" in capsys.readouterr().err
+
+
+# -- --changed-only ------------------------------------------------------------
+
+
+def git(cwd: Path, *argv: str) -> None:
+    subprocess.run(
+        ["git", "-c", "user.name=t", "-c", "user.email=t@example.com", *argv],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+    )
+
+
+def test_changed_only_scopes_to_git_diff(tmp_path, monkeypatch, capsys):
+    git(tmp_path, "init", "-q")
+    unchanged = write_module(tmp_path, "core/committed.py", BAD_PRINT)
+    changed = write_module(tmp_path, "core/edited.py", CLEAN)
+    git(tmp_path, "add", ".")
+    git(tmp_path, "commit", "-q", "-m", "seed")
+
+    changed.write_text(BAD_PRINT, encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+
+    assert main(["--no-baseline", "--changed-only", str(tmp_path / "repro")]) == 1
+    out = capsys.readouterr().out
+    assert "edited.py" in out
+    assert "committed.py" not in out, "unchanged files must not be analyzed"
+    assert unchanged.exists()
+
+
+def test_changed_only_with_clean_diff_base(tmp_path, monkeypatch, capsys):
+    git(tmp_path, "init", "-q")
+    write_module(tmp_path, "core/committed.py", BAD_PRINT)
+    git(tmp_path, "add", ".")
+    git(tmp_path, "commit", "-q", "-m", "seed")
+    monkeypatch.chdir(tmp_path)
+
+    # Nothing changed vs HEAD: zero files analyzed, exit clean.
+    assert (
+        main(
+            [
+                "--no-baseline",
+                "--changed-only",
+                "--diff-base",
+                "HEAD",
+                str(tmp_path / "repro"),
+            ]
+        )
+        == 0
+    )
+    assert "repro-lint: clean" in capsys.readouterr().out
+
+
+def test_changed_only_outside_git_is_usage_error(tmp_path, monkeypatch):
+    bad = write_module(tmp_path, "core/noisy.py", BAD_PRINT)
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("GIT_DIR", str(tmp_path / "no-such-dir"))
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--changed-only", str(bad)])
+    assert excinfo.value.code == 2
+
+
+# -- --jobs --------------------------------------------------------------------
+
+
+def test_jobs_parallel_matches_serial(capsys):
+    target = str(FIXTURES)
+    serial_code = main(["--no-baseline", target])
+    serial_out = capsys.readouterr().out
+    parallel_code = main(["--no-baseline", "--jobs", "2", target])
+    parallel_out = capsys.readouterr().out
+    assert parallel_code == serial_code == 1
+    assert parallel_out == serial_out
+
+
+def test_jobs_zero_is_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--jobs", "0", str(FIXTURES)])
+    assert excinfo.value.code == 2
+
+
+# -- suppressions and the rule catalogue ---------------------------------------
+
+
+def test_comma_separated_suppression(tmp_path):
+    source = (
+        "def f(v):\n"
+        "    ok = v == 0.5; print(v)  # repro-lint: disable=float-eq,print-call\n"
+        "    return ok\n"
+    )
+    target = write_module(tmp_path, "core/both.py", source)
+    assert main(["--no-baseline", str(target)]) == 0
+
+
+def test_comma_separated_suppression_is_not_a_wildcard(tmp_path, capsys):
+    source = (
+        "def f(v):\n"
+        "    ok = v == 0.5; print(v)  # repro-lint: disable=float-eq\n"
+        "    return ok\n"
+    )
+    target = write_module(tmp_path, "core/partial.py", source)
+    assert main(["--no-baseline", str(target)]) == 1
+    assert "print-call" in capsys.readouterr().out
+
+
+def test_list_rules_includes_flow_families(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in (
+        "nondeterminism-taint",
+        "packet-typestate",
+        "bits-bytes",
+        "sim-callback-write",
+    ):
+        assert name in out
+    assert "sim-callback-write (warning" in out

@@ -1,0 +1,207 @@
+"""Unit tests for the engine upgrades: cache, baseline, and SARIF."""
+
+from repro.lint import ALL_RULES, Finding, LintEngine
+from repro.lint.baseline import Baseline, BaselineEntry, finding_fingerprint
+from repro.lint.cache import LintCache, file_digest, rules_signature
+from repro.lint.engine import Rule
+from repro.lint.sarif import to_sarif
+
+
+def make_finding(rule="print-call", path="core/x.py", line=3, message="print() call"):
+    return Finding(rule=rule, path=path, line=line, col=1, message=message)
+
+
+# -- cache ---------------------------------------------------------------------
+
+
+def test_cache_roundtrip(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    signature = rules_signature(ALL_RULES)
+    cache = LintCache(cache_path, signature)
+    target = tmp_path / "mod.py"
+    target.write_text("print(1)\n", encoding="utf-8")
+    digest = file_digest(target)
+    finding = make_finding(path=str(target))
+
+    assert cache.get(target, digest) is None  # cold miss
+    cache.put(target, digest, [finding])
+    cache.save()
+
+    reloaded = LintCache.load(cache_path, signature)
+    assert reloaded.get(target, digest) == [finding]
+    assert reloaded.hits == 1
+
+
+def test_cache_misses_on_content_change(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    signature = rules_signature(ALL_RULES)
+    cache = LintCache(cache_path, signature)
+    target = tmp_path / "mod.py"
+    target.write_text("print(1)\n", encoding="utf-8")
+    cache.put(target, file_digest(target), [])
+    cache.save()
+
+    target.write_text("print(2)\n", encoding="utf-8")
+    reloaded = LintCache.load(cache_path, signature)
+    assert reloaded.get(target, file_digest(target)) is None
+
+
+def test_cache_invalidated_by_rule_version_bump(tmp_path):
+    class FakeRule(Rule):
+        name = "fake"
+        version = 1
+
+    class FakeRuleV2(Rule):
+        name = "fake"
+        version = 2
+
+    sig_v1 = rules_signature([FakeRule()])
+    sig_v2 = rules_signature([FakeRuleV2()])
+    assert sig_v1 != sig_v2
+
+    cache_path = tmp_path / "cache.json"
+    cache = LintCache(cache_path, sig_v1)
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    digest = file_digest(target)
+    cache.put(target, digest, [])
+    cache.save()
+
+    stale = LintCache.load(cache_path, sig_v2)
+    assert stale.get(target, digest) is None, "version bump must drop cached findings"
+
+
+def test_cache_corrupt_file_yields_empty(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    cache_path.write_text("not json{", encoding="utf-8")
+    cache = LintCache.load(cache_path, rules_signature(ALL_RULES))
+    assert cache.get(tmp_path / "mod.py", "0" * 64) is None
+
+
+def test_cache_prune_drops_unlisted_files(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    cache = LintCache(cache_path, "sig")
+    keep = tmp_path / "keep.py"
+    drop = tmp_path / "drop.py"
+    for target in (keep, drop):
+        target.write_text("x = 1\n", encoding="utf-8")
+        cache.put(target, file_digest(target), [])
+    cache.prune([keep])
+    assert cache.get(keep, file_digest(keep)) == []
+    assert cache.get(drop, file_digest(drop)) is None
+
+
+# -- baseline ------------------------------------------------------------------
+
+
+def test_fingerprint_is_line_independent():
+    a = make_finding(line=3)
+    b = make_finding(line=300)
+    assert finding_fingerprint(a) == finding_fingerprint(b)
+    c = make_finding(message="different message")
+    assert finding_fingerprint(a) != finding_fingerprint(c)
+
+
+def test_fingerprint_uses_package_relative_path():
+    a = make_finding(path="src/repro/core/x.py")
+    b = make_finding(path="fixtures/repro/core/x.py")
+    assert finding_fingerprint(a) == finding_fingerprint(b)
+
+
+def test_baseline_apply_splits_new_accepted_stale():
+    accepted_finding = make_finding()
+    new_finding = make_finding(message="something else")
+    baseline = Baseline(
+        [
+            BaselineEntry(fingerprint=finding_fingerprint(accepted_finding)),
+            BaselineEntry(fingerprint="deadbeef" * 2 + "dead"),
+        ]
+    )
+    new, accepted, stale = baseline.apply([accepted_finding, new_finding])
+    assert new == [new_finding]
+    assert accepted == [accepted_finding]
+    assert [entry.fingerprint for entry in stale] == ["deadbeef" * 2 + "dead"]
+
+
+def test_baseline_save_load_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    finding = make_finding()
+    baseline = Baseline.from_findings([finding], justification="deliberate: test")
+    baseline.save(path)
+    reloaded = Baseline.load(path)
+    assert len(reloaded) == 1
+    entry = next(iter(reloaded.entries.values()))
+    assert entry.fingerprint == finding_fingerprint(finding)
+    assert entry.justification == "deliberate: test"
+
+
+def test_baseline_rejects_malformed(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"schema": 99}', encoding="utf-8")
+    try:
+        Baseline.load(path)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("malformed baseline must raise ValueError")
+
+
+# -- SARIF ---------------------------------------------------------------------
+
+
+def test_sarif_document_structure(tmp_path):
+    findings = [make_finding(path=str(tmp_path / "core" / "x.py"))]
+    document = to_sarif(findings, ALL_RULES, root=tmp_path)
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert {rule["id"] for rule in driver["rules"]} >= {r.name for r in ALL_RULES}
+    result = run["results"][0]
+    assert result["ruleId"] == "print-call"
+    assert result["level"] == "error"
+    assert result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"] == "core/x.py"
+    assert result["locations"][0]["physicalLocation"]["region"]["startLine"] == 3
+    assert result["partialFingerprints"]["reproLint/v1"] == finding_fingerprint(findings[0])
+
+
+def test_sarif_rule_index_matches_descriptor():
+    finding = make_finding(rule="float-eq", message="exact float comparison")
+    document = to_sarif([finding], ALL_RULES)
+    run = document["runs"][0]
+    result = run["results"][0]
+    descriptors = run["tool"]["driver"]["rules"]
+    assert descriptors[result["ruleIndex"]]["id"] == "float-eq"
+
+
+def test_sarif_unknown_rule_gets_descriptor():
+    finding = Finding(
+        rule="parse-error", path="core/broken.py", line=1, col=1, message="cannot parse"
+    )
+    document = to_sarif([finding], ALL_RULES)
+    run = document["runs"][0]
+    descriptors = run["tool"]["driver"]["rules"]
+    assert any(rule["id"] == "parse-error" for rule in descriptors)
+    assert run["results"][0]["ruleIndex"] == len(descriptors) - 1
+
+
+def test_sarif_warning_severity_maps_to_level():
+    finding = Finding(
+        rule="sim-callback-write",
+        path="net/x.py",
+        line=2,
+        col=1,
+        message="callback writes module state",
+        severity="warning",
+    )
+    document = to_sarif([finding], ALL_RULES)
+    assert document["runs"][0]["results"][0]["level"] == "warning"
+
+
+def test_lint_results_are_reproducible_for_caching(tmp_path):
+    """Same bytes → identical findings: the property the cache relies on."""
+    target = tmp_path / "repro" / "core" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("def f(v):\n    print(v)\n", encoding="utf-8")
+    engine = LintEngine(ALL_RULES)
+    assert engine.lint_file(target) == engine.lint_file(target)

@@ -33,6 +33,11 @@ BAD_FIXTURES = [
     ("core/bad_float_eq.py", "float-eq"),
     ("core/bad_mutable_default.py", "mutable-default"),
     ("core/bad_print.py", "print-call"),
+    ("core/bad_float_identity.py", "float-eq"),
+    ("core/bad_units.py", "bits-bytes"),
+    ("net/bad_taint.py", "nondeterminism-taint"),
+    ("net/bad_simcb.py", "sim-callback-write"),
+    ("packet/bad_typestate.py", "packet-typestate"),
 ]
 
 GOOD_FIXTURES = [
@@ -42,6 +47,11 @@ GOOD_FIXTURES = [
     "core/good_float_eq.py",
     "core/good_mutable_default.py",
     "core/good_print.py",
+    "core/good_float_identity.py",
+    "core/good_units.py",
+    "net/good_taint.py",
+    "net/good_simcb.py",
+    "packet/good_typestate.py",
 ]
 
 
