@@ -1,0 +1,633 @@
+"""Multi-tenant cluster driver: concurrent jobs on one shared fabric.
+
+:class:`ClusterDriver` runs N :class:`~repro.train.ddp.DDPTrainer` jobs
+*concurrently* on a single simulated fat-tree (or leaf–spine) while
+background tenants load the same links.  Concurrency is wave-ordered and
+fully deterministic:
+
+* each job trains on its own thread, but a thread only ever runs between
+  two barriers — it parks inside its :class:`FabricHook` the moment a
+  round's gradients are encoded and packetized;
+* the driver waits until **every** live job is parked, then launches all
+  parked transfers at the same simulation instant on the shared network
+  (per-flow ECMP spreads them across the fabric), runs the event loop
+  until they reach terminal state or the deadline, and releases the jobs
+  in fixed order.
+
+Because only the driver thread ever touches the simulator, and job
+threads compute on private state between barriers, a ``(scenario,
+seed)`` pair always produces byte-identical reports — the property the
+isolation regression tests pin down.
+
+Attribution: every switch gets a ``flow_classifier`` that buckets trim
+and drop verdicts by flow-id range — jobs own blocks above
+:data:`JOB_FLOW_BASE`, tenants own blocks above
+:data:`~repro.net.crosstraffic.CROSS_TRAFFIC_FLOW_BASE` — so the report
+can say *whose* packets the fabric cut.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..collectives.hooks import CommHook
+from ..core.codec import GradientCodec, codec_by_name
+from ..core.packetizer import decode_packets, packetize
+from ..net.crosstraffic import CROSS_TRAFFIC_FLOW_BASE
+from ..net.topology import Network, fat_tree, leaf_spine
+from ..packet.packet import Packet
+from ..packet.trim import SingleLevelTrim
+from ..transport.base import TransportSurrender
+from ..transport.congestion import FixedWindow
+from ..transport.trimming import TrimmingReceiver, TrimmingSender
+from .scenario import ClusterScenario, JobSpec
+from .tenants import TENANT_FLOW_BLOCK, TenantWorkload, tenant_flow_base
+
+__all__ = ["JOB_FLOW_BASE", "JOB_FLOW_BLOCK", "FabricHook", "ClusterDriver"]
+
+#: Training flows live in per-job blocks well clear of the transport
+#: test range and below the cross-traffic space.
+JOB_FLOW_BASE = 200_000
+JOB_FLOW_BLOCK = 10_000
+
+#: Wave execution slices the deadline into this many chunks so the event
+#: loop can stop early once every transfer is terminal.
+_DEADLINE_CHUNKS = 20
+
+
+# -- placement -----------------------------------------------------------------
+
+
+class HostAllocator:
+    """Deterministic host placement over the topology's pods."""
+
+    def __init__(self, pods: List[List[str]]) -> None:
+        self.pods = [list(pod) for pod in pods]
+        self._free = [list(pod) for pod in pods]
+
+    def take(self, pod: int) -> str:
+        """Claim the next free host in ``pod``."""
+        pod %= len(self._free)
+        if not self._free[pod]:
+            raise ValueError(f"no free host left in pod {pod}")
+        return self._free[pod].pop(0)
+
+    def take_outside(self, pod: int, count: int) -> List[str]:
+        """Claim ``count`` hosts round-robin from every other pod."""
+        taken: List[str] = []
+        order = [p for p in range(len(self._free)) if p != pod % len(self._free)]
+        while len(taken) < count:
+            progressed = False
+            for p in order:
+                if len(taken) >= count:
+                    break
+                if self._free[p]:
+                    taken.append(self._free[p].pop(0))
+                    progressed = True
+            if not progressed:
+                raise ValueError(
+                    f"need {count} hosts outside pod {pod}, "
+                    f"only {len(taken)} available"
+                )
+        return taken
+
+    def free_in(self, pod: int) -> int:
+        return len(self._free[pod % len(self._free)])
+
+
+def topology_pods(scenario: ClusterScenario) -> List[List[str]]:
+    """Host names grouped by pod (fat-tree) or leaf (leaf–spine)."""
+    if scenario.topology == "fat-tree":
+        half = scenario.k // 2
+        return [
+            [f"h{pod}_{e}_{i}" for e in range(half) for i in range(half)]
+            for pod in range(scenario.k)
+        ]
+    return [
+        [f"h{leaf}_{i}" for i in range(scenario.hosts_per_leaf)]
+        for leaf in range(scenario.leaves)
+    ]
+
+
+@dataclass(frozen=True)
+class JobPlacement:
+    """Where one job's endpoints live on the fabric."""
+
+    aggregator: str
+    workers: Tuple[str, ...]
+
+
+def place_jobs(
+    scenario: ClusterScenario, allocator: HostAllocator
+) -> List[JobPlacement]:
+    """Spread each job's aggregator and workers across pods.
+
+    Job ``j`` aggregates in pod ``j % P`` and worker ``w`` computes in
+    pod ``(j + 1 + w) % P``, so every gradient flow crosses the fabric
+    core — the contention the multi-tenant scenarios study.
+    """
+    pods = scenario.pods
+    placements = []
+    for j, job in enumerate(scenario.jobs):
+        aggregator = allocator.take(j % pods)
+        workers = tuple(
+            allocator.take((j + 1 + w) % pods) for w in range(job.workers)
+        )
+        placements.append(JobPlacement(aggregator=aggregator, workers=workers))
+    return placements
+
+
+# -- wave protocol -------------------------------------------------------------
+
+
+@dataclass
+class _Transfer:
+    """One worker's gradient message crossing the fabric this wave."""
+
+    worker: int
+    flow_id: int
+    src: str
+    dst: str
+    packets: List[Packet]
+    wire: Optional[List[Packet]] = None
+    failure: Optional[str] = None
+    fct_s: float = 0.0
+
+
+@dataclass
+class _WaveRequest:
+    """Everything a parked job hands the driver for one round."""
+
+    job_index: int
+    epoch: int
+    transfers: List[_Transfer]
+    wave_end_s: float = 0.0
+
+
+@dataclass
+class _JobRuntime:
+    """Driver-side state for one job thread."""
+
+    spec: JobSpec
+    placement: JobPlacement
+    trainer: Any
+    hook: "FabricHook"
+    thread: Optional[threading.Thread] = None
+    request: Optional[_WaveRequest] = None
+    parked: threading.Event = field(default_factory=threading.Event)
+    released: threading.Event = field(default_factory=threading.Event)
+    finished: bool = False
+    error: Optional[BaseException] = None
+    fcts: List[float] = field(default_factory=list)
+
+
+class FabricHook(CommHook):
+    """A CommHook whose aggregation rides the shared cluster fabric.
+
+    Mirrors :func:`~repro.collectives.ring.allreduce_mean` exactly —
+    one message id per round, every worker's gradient crossing once,
+    ``np.mean`` over what arrives — so a single job on an idle fabric
+    reproduces the in-memory baseline bit for bit.  A transfer that
+    surrenders or misses the wave deadline contributes a zero gradient
+    (a degraded step), which is what keeps a job alive when a tenant
+    storms the core.
+    """
+
+    def __init__(
+        self,
+        driver: "ClusterDriver",
+        job_index: int,
+        codec: GradientCodec,
+        mtu: int = 1500,
+    ) -> None:
+        super().__init__()
+        self.driver = driver
+        self.job_index = job_index
+        self.codec = codec
+        self.mtu = mtu
+        self.waves = 0
+        #: (epoch, fabric time at wave end) per round — the driver's
+        #: source for per-job time-to-accuracy on the shared clock.
+        self.wave_log: List[Tuple[int, float]] = []
+
+    def _flow_id(self, worker: int) -> int:
+        # Fresh ids every wave so a packet straggling past the deadline
+        # can never be mistaken for the next round's data.
+        base = JOB_FLOW_BASE + self.job_index * JOB_FLOW_BLOCK
+        workers = len(self.driver.runtimes[self.job_index].placement.workers)
+        return base + (self.waves * workers + worker) % JOB_FLOW_BLOCK
+
+    def _aggregate(self, grads: List[np.ndarray], epoch: int) -> np.ndarray:
+        message_id = self.next_message_id()
+        placement = self.driver.runtimes[self.job_index].placement
+        flats = [np.asarray(g, dtype=np.float64) for g in grads]
+        transfers: List[_Transfer] = []
+        for worker, flat in enumerate(flats):
+            enc = self.codec.encode(flat, epoch=epoch, message_id=message_id)
+            flow_id = self._flow_id(worker)
+            transfers.append(
+                _Transfer(
+                    worker=worker,
+                    flow_id=flow_id,
+                    src=placement.workers[worker],
+                    dst=placement.aggregator,
+                    packets=packetize(
+                        enc,
+                        src=placement.workers[worker],
+                        dst=placement.aggregator,
+                        mtu=self.mtu,
+                        flow_id=flow_id,
+                    ),
+                )
+            )
+        request = _WaveRequest(
+            job_index=self.job_index, epoch=epoch, transfers=transfers
+        )
+        self.driver.submit(self.job_index, request)
+        self.waves += 1
+        self.wave_log.append((epoch, request.wave_end_s))
+
+        received: List[np.ndarray] = []
+        for transfer, flat in zip(transfers, flats):
+            self.stats.messages += 1
+            self.stats.coordinates += flat.size
+            if transfer.wire is None:
+                self.count_surrender()
+                received.append(np.zeros_like(flat))
+                continue
+            wire = transfer.wire
+            decoded = decode_packets(wire, self.codec)
+            data = [
+                p for p in wire if p.grad_header and not p.grad_header.is_metadata
+            ]
+            trimmed = sum(1 for p in data if p.is_trimmed)
+            self.stats.packets_total += len(data)
+            self.stats.packets_trimmed += trimmed
+            self.stats.bytes_sent += sum(p.wire_size for p in wire)
+            received.append(decoded)
+        return np.mean(received, axis=0)
+
+    def count_surrender(self) -> None:
+        self.channel.count_surrender()
+
+
+# -- the driver ----------------------------------------------------------------
+
+
+class ClusterDriver:
+    """Build the fabric, place everyone, run all jobs to completion.
+
+    Args:
+        scenario: the declarative cluster description.
+        seed: the run seed — drives job data/models/codecs, tenant
+            traffic and the fabric's ECMP salt.
+        target_top1: accuracy threshold for per-job time-to-accuracy.
+    """
+
+    def __init__(
+        self, scenario: ClusterScenario, seed: int = 0, target_top1: float = 0.5
+    ) -> None:
+        self.scenario = scenario
+        self.seed = seed
+        self.target_top1 = target_top1
+        self.net = self._build_network()
+        allocator = HostAllocator(topology_pods(scenario))
+        placements = place_jobs(scenario, allocator)
+        self.runtimes: List[_JobRuntime] = [
+            self._build_job(index, spec, placement)
+            for index, (spec, placement) in enumerate(
+                zip(scenario.jobs, placements)
+            )
+        ]
+        self.tenants: List[TenantWorkload] = [
+            self._build_tenant(index, allocator)
+            for index in range(len(scenario.tenants))
+        ]
+        #: owner -> {"trim": n, "drop": n} switch verdict attribution.
+        self.attribution: Dict[str, Dict[str, int]] = {}
+        for switch in self.net.switches.values():
+            switch.flow_classifier = self._classify
+        self.waves_run = 0
+        self._ran = False
+
+    # -- construction ----------------------------------------------------------
+
+    def _build_network(self) -> Network:
+        s = self.scenario
+        trim_policy = SingleLevelTrim() if s.trim else None
+        if s.topology == "fat-tree":
+            return fat_tree(
+                k=s.k,
+                rate_bps=s.rate_bps,
+                delay_s=s.delay_s,
+                trim_policy=trim_policy,
+                buffer_bytes=s.buffer_bytes,
+                ecmp=s.ecmp,
+                ecmp_seed=self.seed,
+                host_burst=s.host_burst,
+            )
+        return leaf_spine(
+            leaves=s.leaves,
+            spines=s.spines,
+            hosts_per_leaf=s.hosts_per_leaf,
+            host_rate_bps=s.rate_bps,
+            fabric_rate_bps=s.rate_bps,
+            delay_s=s.delay_s,
+            trim_policy=trim_policy,
+            buffer_bytes=s.buffer_bytes,
+            ecmp=s.ecmp,
+            ecmp_seed=self.seed,
+            host_burst=s.host_burst,
+        )
+
+    def _build_job(
+        self, index: int, spec: JobSpec, placement: JobPlacement
+    ) -> _JobRuntime:
+        # Deferred: repro.train pulls in the whole nn stack.
+        from ..nn.data import make_dataset
+        from ..nn.models import MLP
+        from ..train.ddp import DDPTrainer, TrainConfig
+
+        offset = spec.seed_offset if spec.seed_offset is not None else index
+        job_seed = self.seed + offset
+        train_set, test_set = make_dataset(
+            num_classes=8,
+            train_per_class=16,
+            test_per_class=8,
+            image_size=8,
+            noise=1.0,
+            seed=job_seed,
+        )
+        model = MLP(192, [16], 8, seed=job_seed + 3)
+        codec = codec_by_name(
+            "rht", root_seed=job_seed + 1, row_size=spec.row_size
+        )
+        hook = FabricHook(
+            driver=self, job_index=index, codec=codec, mtu=self.scenario.mtu
+        )
+        trainer = DDPTrainer(
+            model,
+            train_set,
+            test_set,
+            world_size=spec.workers,
+            hook=hook,
+            config=TrainConfig(
+                epochs=spec.epochs,
+                batch_size=spec.batch_size,
+                lr=spec.lr,
+                seed=job_seed,
+                augment=True,
+            ),
+            label=spec.name,
+        )
+        return _JobRuntime(
+            spec=spec, placement=placement, trainer=trainer, hook=hook
+        )
+
+    def _build_tenant(self, index: int, allocator: HostAllocator) -> TenantWorkload:
+        spec = self.scenario.tenants[index]
+        if spec.pattern == "incast":
+            dst_hosts = [allocator.take(spec.dst_pod)]
+            src_hosts = allocator.take_outside(spec.dst_pod, spec.flows)
+        else:
+            receivers = max(1, min(spec.flows, allocator.free_in(spec.dst_pod)))
+            dst_hosts = [allocator.take(spec.dst_pod) for _ in range(receivers)]
+            src_hosts = allocator.take_outside(spec.dst_pod, spec.flows)
+        return TenantWorkload(
+            self.net,
+            spec,
+            tenant_index=index,
+            seed=self.seed,
+            src_hosts=src_hosts,
+            dst_hosts=dst_hosts,
+        )
+
+    # -- attribution ------------------------------------------------------------
+
+    def _owner_of(self, flow_id: int) -> str:
+        if flow_id >= CROSS_TRAFFIC_FLOW_BASE:
+            index = (flow_id - CROSS_TRAFFIC_FLOW_BASE) // TENANT_FLOW_BLOCK - 1
+            if 0 <= index < len(self.scenario.tenants):
+                return self.scenario.tenants[index].name
+            return "other"
+        if flow_id >= JOB_FLOW_BASE:
+            index = (flow_id - JOB_FLOW_BASE) // JOB_FLOW_BLOCK
+            if index < len(self.scenario.jobs):
+                return self.scenario.jobs[index].name
+        return "other"
+
+    def _classify(self, flow_id: int, verdict: str, kind: str) -> None:
+        owner = self.attribution.setdefault(
+            self._owner_of(flow_id), {"trim": 0, "drop": 0}
+        )
+        owner[verdict] = owner.get(verdict, 0) + 1
+
+    # -- wave engine ------------------------------------------------------------
+
+    def submit(self, job_index: int, request: _WaveRequest) -> None:
+        """Called from a job thread: park until the driver ran the wave."""
+        runtime = self.runtimes[job_index]
+        runtime.request = request
+        runtime.parked.set()
+        runtime.released.wait()
+        runtime.released.clear()
+
+    def _execute_wave(self, requests: List[_WaveRequest]) -> None:
+        sim = self.net.sim
+        t0 = sim.now
+        live = []
+        for request in requests:  # fixed job order => deterministic
+            for transfer in request.transfers:
+                tx = self.net.hosts[transfer.src]
+                rx = self.net.hosts[transfer.dst]
+
+                def on_message(
+                    packets: List[Packet], t: _Transfer = transfer
+                ) -> None:
+                    if t.wire is None:
+                        t.wire = packets
+                        t.fct_s = sim.now - t0
+
+                def on_failure(
+                    error: TransportSurrender, t: _Transfer = transfer
+                ) -> None:
+                    t.failure = error.reason
+
+                TrimmingReceiver(
+                    rx, flow_id=transfer.flow_id, on_message=on_message
+                )
+                sender = TrimmingSender(
+                    tx,
+                    flow_id=transfer.flow_id,
+                    cc=FixedWindow(initial_window=128),
+                )
+                sender.send_message(transfer.packets, on_failure=on_failure)
+                live.append((transfer, sender, tx, rx))
+        chunk = self.scenario.deadline_s / _DEADLINE_CHUNKS
+        for step in range(_DEADLINE_CHUNKS):
+            sim.run(until=t0 + (step + 1) * chunk)
+            if all(s.done or s.failed for _, s, _, _ in live):
+                break
+        for transfer, sender, tx, rx in live:
+            if not (sender.done or sender.failed):
+                # Deadline miss: silence the timer so no retransmission
+                # event fires into a later wave.
+                sender._cancel_timer()
+                transfer.failure = transfer.failure or "deadline"
+            if transfer.failure is not None:
+                transfer.wire = None
+            tx.unregister_flow(transfer.flow_id)
+            rx.unregister_flow(transfer.flow_id)
+        wave_end = sim.now
+        for request in requests:
+            request.wave_end_s = wave_end
+            runtime = self.runtimes[request.job_index]
+            runtime.fcts.extend(
+                t.fct_s for t in request.transfers if t.wire is not None
+            )
+        self.waves_run += 1
+
+    def run(self) -> Dict[str, Any]:
+        """Train every job to completion; returns the JSON-ready report."""
+        if self._ran:
+            raise RuntimeError("a ClusterDriver instance runs once")
+        self._ran = True
+        for tenant in self.tenants:
+            tenant.install()
+
+        def job_body(runtime: _JobRuntime) -> None:
+            try:
+                runtime.trainer.train()
+            except BaseException as error:  # surfaced after join
+                runtime.error = error
+            finally:
+                runtime.finished = True
+                runtime.parked.set()
+
+        for runtime in self.runtimes:
+            runtime.thread = threading.Thread(
+                target=job_body, args=(runtime,), daemon=True
+            )
+            runtime.thread.start()
+
+        while True:
+            requests: List[_WaveRequest] = []
+            waiting: List[_JobRuntime] = []
+            for runtime in self.runtimes:
+                if runtime.finished and runtime.request is None:
+                    continue
+                runtime.parked.wait()
+                runtime.parked.clear()
+                if runtime.request is not None:
+                    requests.append(runtime.request)
+                    waiting.append(runtime)
+            if not requests:
+                break
+            self._execute_wave(requests)
+            for runtime in waiting:
+                runtime.request = None
+                runtime.released.set()
+        for runtime in self.runtimes:
+            assert runtime.thread is not None
+            runtime.thread.join()
+        for tenant in self.tenants:
+            tenant.stop()
+        for runtime in self.runtimes:
+            if runtime.error is not None:
+                raise runtime.error
+        return self.report()
+
+    # -- reporting --------------------------------------------------------------
+
+    def _job_report(self, runtime: _JobRuntime) -> Dict[str, Any]:
+        history = runtime.trainer.history
+        stats = runtime.hook.stats
+        epoch_end: Dict[int, float] = {}
+        for epoch, end_s in runtime.hook.wave_log:
+            epoch_end[epoch] = max(epoch_end.get(epoch, 0.0), end_s)
+        tta: Optional[float] = None
+        for record in history.records:
+            if record.top1 >= self.target_top1:
+                tta = epoch_end.get(record.epoch)
+                break
+        return {
+            "workers": runtime.spec.workers,
+            "aggregator": runtime.placement.aggregator,
+            "worker_hosts": list(runtime.placement.workers),
+            "epochs": len(history.records),
+            "rounds": runtime.hook.waves,
+            "final_top1": history.final_top1,
+            "best_top1": history.best_top1,
+            "diverged": history.diverged,
+            "trim_fraction": stats.trim_fraction,
+            "packets_total": stats.packets_total,
+            "packets_trimmed": stats.packets_trimmed,
+            "bytes_delivered": stats.bytes_sent,
+            "rounds_surrendered": stats.rounds_surrendered,
+            "mean_fct_s": (
+                float(np.mean(runtime.fcts)) if runtime.fcts else 0.0
+            ),
+            "time_to_accuracy_s": tta,
+            "epoch_fabric_end_s": [
+                epoch_end.get(r.epoch) for r in history.records
+            ],
+            "top1_curve": [r.top1 for r in history.records],
+        }
+
+    def _fairness(self) -> Dict[str, float]:
+        goodputs = []
+        for runtime in self.runtimes:
+            active = sum(runtime.fcts)
+            if active > 0:
+                goodputs.append(runtime.hook.stats.bytes_sent / active)
+        if not goodputs:
+            return {"jain_goodput": 1.0}
+        total = sum(goodputs)
+        return {
+            "jain_goodput": (total * total)
+            / (len(goodputs) * sum(g * g for g in goodputs))
+        }
+
+    def report(self) -> Dict[str, Any]:
+        """Deterministic digest: no wall-clock values, ever."""
+        switch_totals = self.net.total_switch_stats()
+        ecmp_flows = sum(s.stats.ecmp_flows for s in self.net.switches.values())
+        ecmp_collisions = sum(
+            s.stats.ecmp_collisions for s in self.net.switches.values()
+        )
+        return {
+            "scenario": self.scenario.name,
+            "seed": self.seed,
+            "topology": self.scenario.topology,
+            "k": self.scenario.k,
+            "ecmp": self.scenario.ecmp,
+            "sim_time_s": self.net.sim.now,
+            "waves": self.waves_run,
+            "jobs": {
+                runtime.spec.name: self._job_report(runtime)
+                for runtime in self.runtimes
+            },
+            "tenants": {
+                tenant.spec.name: {
+                    "pattern": tenant.spec.pattern,
+                    "flows": tenant.flow_count,
+                    "flow_base": tenant_flow_base(tenant.tenant_index),
+                    "packets_emitted": tenant.packets_emitted,
+                }
+                for tenant in self.tenants
+            },
+            "attribution": {
+                owner: dict(sorted(verdicts.items()))
+                for owner, verdicts in sorted(self.attribution.items())
+            },
+            "fabric": {
+                **switch_totals,
+                "ecmp_flows": ecmp_flows,
+                "ecmp_collisions": ecmp_collisions,
+            },
+            "fairness": self._fairness(),
+        }

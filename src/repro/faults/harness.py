@@ -1,25 +1,35 @@
-"""Run a fault scenario against a dumbbell topology end to end.
+"""Run a fault scenario against a dumbbell or fat-tree topology.
 
 :func:`run_scenario` is the single entry point the CLI, the chaos CI
 matrix and the invariant test suite all share: build the scenario's
-dumbbell, arm a :class:`~repro.faults.injector.FaultInjector`, push one
+topology, arm a :class:`~repro.faults.injector.FaultInjector`, push one
 RHT-encoded gradient message per sender/receiver pair through the
 chosen transport, and drain the event loop.  The returned
 :class:`ScenarioRun` exposes everything the callers assert on —
 delivery counts, surrender state, the deterministic fault event log,
 per-link impairment counters and the simulator step count (the
 no-livelock bound).
+
+Scenarios are written against the dumbbell's names (``s0->s1``,
+``s1:rx0``, ``worker:<rank>``).  On a fat-tree the harness *remaps*
+those roles onto the ECMP path pair 0's flow actually takes — the
+bottleneck fault lands on the first fabric link of that path, the ACK
+fault on the reverse path, the receiver blackout on the receiver's edge
+port — so the same eight presets exercise a multipath fabric without
+rewriting them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core import RHTCodec, decode_packets, nmse, packetize
 from ..net import Host, Network, dumbbell
+from ..net.crosstraffic import CROSS_TRAFFIC_FLOW_BASE, OnOffFlow
+from ..net.topology import fat_tree
 from ..packet.packet import Packet
 from ..transforms.prng import shared_generator
 from ..transport import (
@@ -42,8 +52,57 @@ __all__ = ["TRANSPORTS", "ScenarioRun", "run_scenario"]
 #: Transport names accepted by :func:`run_scenario` and the CLI.
 TRANSPORTS = ("gbn", "pull", "trimming")
 
+#: Topology names accepted by :func:`run_scenario`.
+TOPOLOGIES = ("dumbbell", "fat-tree")
+
 #: Base flow id for scenario traffic (clear of the test/bench ranges).
 FLOW_BASE = 500
+
+#: Flow id of the optional fat-tree background tenant.
+BACKGROUND_FLOW = CROSS_TRAFFIC_FLOW_BASE + 777
+
+
+def _fat_tree_hosts(pair: int) -> Tuple[str, str]:
+    """Pair ``i``'s endpoints on the k=4 fat-tree: pod 0 -> pod 1."""
+    if pair >= 4:
+        raise ValueError(
+            f"fat-tree harness places at most 4 pairs (pod capacity), got pair {pair}"
+        )
+    return f"h0_{pair // 2}_{pair % 2}", f"h1_{pair // 2}_{pair % 2}"
+
+
+def _remap_scenario(scenario: Scenario, net: Network) -> Tuple[Scenario, Dict[int, str]]:
+    """Rewrite dumbbell fault targets onto the fat-tree's fabric.
+
+    The roles transfer along the path pair 0's flow actually hashes to
+    (``Network.flow_path`` is pure, so this predicts without
+    perturbing): ``s0->s1`` becomes that path's first fabric link,
+    ``s1->s0`` the reverse path's, and ``s1:rx<i>`` the receiver's edge
+    port.  Worker ranks map to the pod-0 sender hosts.
+    """
+    tx0, rx0 = _fat_tree_hosts(0)
+    forward = net.flow_path(tx0, rx0, FLOW_BASE)
+    reverse = net.flow_path(rx0, tx0, FLOW_BASE)
+    mapping = {
+        "s0->s1": f"{forward[1]}->{forward[2]}",
+        "s1->s0": f"{reverse[1]}->{reverse[2]}",
+    }
+    faults = []
+    for spec in scenario.faults:
+        target = spec.target
+        if target in mapping:
+            target = mapping[target]
+        elif spec.fault == "blackout" and ":" in target:
+            _, neighbor = target.split(":", 1)
+            if neighbor.startswith("rx"):
+                rx_host = _fat_tree_hosts(int(neighbor[2:]))[1]
+                edge = net.flow_path(tx0, rx_host, FLOW_BASE)[-2]
+                target = f"{edge}:{rx_host}"
+        faults.append(replace(spec, target=target) if target != spec.target else spec)
+    worker_hosts = {
+        rank: _fat_tree_hosts(rank)[0] for rank in range(min(scenario.pairs, 4))
+    }
+    return replace(scenario, faults=tuple(faults)), worker_hosts
 
 
 @dataclass
@@ -97,10 +156,10 @@ class ScenarioRun:
 
 
 def _make_transport(
-    transport: str, net: Network, flow: int, pair: int
+    transport: str, net: Network, flow: int, tx_name: str, rx_name: str
 ) -> Tuple[MessageSenderBase, Any, Host]:
-    """One sender/receiver pair on hosts ``tx<pair>``/``rx<pair>``."""
-    tx, rx = net.hosts[f"tx{pair}"], net.hosts[f"rx{pair}"]
+    """One sender/receiver pair on the given hosts."""
+    tx, rx = net.hosts[tx_name], net.hosts[rx_name]
     sender: MessageSenderBase
     if transport == "gbn":
         sender = GoBackNSender(tx, flow_id=flow, cc=AIMD(initial_window=16))
@@ -123,6 +182,8 @@ def run_scenario(
     max_events: int = 2_000_000,
     max_retries: Optional[int] = None,
     instrument: Optional[Callable[[Network], None]] = None,
+    topology: str = "dumbbell",
+    background_traffic: bool = False,
 ) -> ScenarioRun:
     """Execute ``scenario`` and return the full observable outcome.
 
@@ -141,16 +202,59 @@ def run_scenario(
             after faults are armed but before any traffic is queued, so
             monitors/profilers (e.g. ``repro-timeline record``) can
             attach without perturbing the schedule already laid down.
+        topology: one of :data:`TOPOLOGIES`.  ``fat-tree`` runs the same
+            scenario on an ECMP-routed k=4 fat-tree (pairs cross from
+            pod 0 to pod 1, fault targets remapped; max 4 pairs).
+        background_traffic: fat-tree only — add one elephant tenant flow
+            (pod 2 -> pod 1) contending with the scenario traffic.
     """
     if max_retries is None:
         max_retries = scenario.max_retries
-    net = dumbbell(
-        pairs=scenario.pairs,
-        edge_rate_bps=scenario.edge_rate_bps,
-        bottleneck_rate_bps=scenario.bottleneck_rate_bps,
-    )
-    injector = FaultInjector(net, scenario, root_seed=seed)
+    if topology not in TOPOLOGIES:
+        raise ValueError(f"unknown topology {topology!r}; expected one of {TOPOLOGIES}")
+    worker_hosts: Dict[int, str] = {}
+    background: Optional[OnOffFlow] = None
+    if topology == "fat-tree":
+        net = fat_tree(
+            k=4,
+            rate_bps=scenario.edge_rate_bps,
+            ecmp=True,
+            ecmp_seed=seed,
+        )
+        scenario, worker_hosts = _remap_scenario(scenario, net)
+        pair_hosts = [_fat_tree_hosts(pair) for pair in range(scenario.pairs)]
+        if background_traffic:
+            # Unregistered flows are silently counted at the receiving
+            # host, so the tenant needs no transport endpoints.  The
+            # active window is capped: scenario durations are drain
+            # budgets (seconds), while all fault schedules and gradient
+            # flows live in the first milliseconds — a tenant streaming
+            # through the whole drain would add millions of idle-time
+            # events and defeat the no-livelock step bounds.
+            background = OnOffFlow(
+                net.sim,
+                net.hosts["h2_0_0"],
+                "h1_0_0",
+                rate_bps=scenario.edge_rate_bps / 4,
+                burst_s=2e-3,
+                idle_s=2e-4,
+                seed=seed,
+                flow_id=BACKGROUND_FLOW,
+                stop_at=min(scenario.duration_s, 20e-3),
+            )
+    else:
+        if background_traffic:
+            raise ValueError("background_traffic requires topology='fat-tree'")
+        net = dumbbell(
+            pairs=scenario.pairs,
+            edge_rate_bps=scenario.edge_rate_bps,
+            bottleneck_rate_bps=scenario.bottleneck_rate_bps,
+        )
+        pair_hosts = [(f"tx{pair}", f"rx{pair}") for pair in range(scenario.pairs)]
+    injector = FaultInjector(net, scenario, root_seed=seed, worker_hosts=worker_hosts)
     injector.install()
+    if background is not None:
+        background.start()
     if instrument is not None:
         instrument(net)
 
@@ -161,9 +265,9 @@ def run_scenario(
     surrenders: Dict[int, str] = {}
     senders: Dict[int, MessageSenderBase] = {}
 
-    for pair in range(scenario.pairs):
+    for pair, (tx_name, rx_name) in enumerate(pair_hosts):
         flow = FLOW_BASE + pair
-        sender, receiver_cls, rx = _make_transport(transport, net, flow, pair)
+        sender, receiver_cls, rx = _make_transport(transport, net, flow, tx_name, rx_name)
         if max_retries is not None:
             sender.max_retries = max_retries
         senders[flow] = sender
@@ -182,8 +286,8 @@ def run_scenario(
         originals[flow] = grad
         packets = packetize(
             codec.encode(grad, message_id=flow),
-            src=f"tx{pair}",
-            dst=f"rx{pair}",
+            src=tx_name,
+            dst=rx_name,
             flow_id=flow,
         )
         sender.send_message(packets, on_failure=on_failure)

@@ -27,7 +27,7 @@ transient fault into a permanent one.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +50,10 @@ class FaultInjector:
         network: a :class:`repro.net.topology.Network` (already wired).
         scenario: the declarative schedule to install.
         root_seed: the run seed; all fault draws derive from it.
+        worker_hosts: optional rank -> host-name map for worker-scoped
+            faults; None keeps the dumbbell convention ``tx<rank>``.
+            Harnesses running scenarios on other topologies (fat-tree)
+            pass their placement here.
 
     Attributes:
         events: append-only, JSON-ready fault log.  Every record carries
@@ -59,10 +63,17 @@ class FaultInjector:
             registry as ``repro_faults_injected_total``.
     """
 
-    def __init__(self, network: Network, scenario: Scenario, root_seed: int) -> None:
+    def __init__(
+        self,
+        network: Network,
+        scenario: Scenario,
+        root_seed: int,
+        worker_hosts: Optional[Dict[int, str]] = None,
+    ) -> None:
         self.network = network
         self.scenario = scenario
         self.root_seed = root_seed
+        self.worker_hosts = worker_hosts or {}
         self.events: List[Dict] = []
         self.counts: Dict[str, int] = {}
         self._hooked_links: Dict[str, List] = {}
@@ -207,8 +218,12 @@ class FaultInjector:
     # -- worker-scoped faults ---------------------------------------------------
 
     def _worker_host(self, spec: FaultSpec) -> Tuple[Host, Link]:
-        """Resolve ``worker:<rank>`` to the wired host ``tx<rank>`` + uplink."""
-        name = f"tx{spec.worker_rank}"
+        """Resolve ``worker:<rank>`` to its wired host + uplink.
+
+        The rank maps through ``worker_hosts`` when the harness supplied
+        a placement, else to the dumbbell convention ``tx<rank>``.
+        """
+        name = self.worker_hosts.get(spec.worker_rank, f"tx{spec.worker_rank}")
         host = self.network.hosts.get(name)
         if host is None or host.uplink is None:
             raise ValueError(f"no wired host {name!r} for target {spec.target!r}")
@@ -218,6 +233,11 @@ class FaultInjector:
         """Kill both directions of the worker's uplink — a dead NIC."""
         host, uplink = self._worker_host(spec)
         downlink = self.network.link_between(uplink.dst.name, host.name)
+        # Burst batching pre-schedules deliveries; a link that can die
+        # mid-burst must serialize one packet at a time so the crash
+        # loses exactly what is on the wire.
+        uplink.burst = 1
+        downlink.burst = 1
         sim = self.network.sim
 
         def die() -> None:
@@ -261,6 +281,8 @@ class FaultInjector:
 
     def _install_flap(self, spec: FaultSpec) -> None:
         link = self._link(spec.target)
+        # See _install_crash: a flapping link must not batch deliveries.
+        link.burst = 1
         sim = self.network.sim
 
         def go_down() -> None:

@@ -54,7 +54,18 @@ class Link:
         rate_bps: line rate in bits per second.
         delay_s: propagation delay in seconds.
         queue: the egress queue feeding this link.
+        burst: serializer batch size.  With ``burst > 1`` a clean link
+            (up, unimpaired, no delivery hook) pops up to ``burst``
+            queued packets at once and schedules their deliveries at the
+            exact per-packet cumulative serialization times — identical
+            timing to the one-at-a-time path, ~half the simulator events.
+            Only safe on FIFO queues (host NICs): a priority queue could
+            admit an express packet mid-burst that the batch would
+            wrongly hold back, so switch egress keeps ``burst=1``.
     """
+
+    #: Batch size Network.connect applies to host uplinks.
+    HOST_BURST = 8
 
     def __init__(
         self,
@@ -67,6 +78,7 @@ class Link:
         drop_prob: float = 0.0,
         trim_prob: float = 0.0,
         seed: int = 0,
+        burst: int = 1,
     ) -> None:
         if rate_bps <= 0:
             raise ValueError(f"rate must be positive, got {rate_bps}")
@@ -85,8 +97,11 @@ class Link:
         # both in the software layer and on our SmartNIC").  Control
         # packets (ACKs) are never impaired — they are tiny and travel in
         # the express band.
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
         self.drop_prob = drop_prob
         self.trim_prob = trim_prob
+        self.burst = burst
         self._rng = np.random.default_rng(seed)
         self._busy = False
         # Fault-injection state: a downed link (flap) loses everything it
@@ -151,6 +166,15 @@ class Link:
     def _try_transmit(self) -> None:
         if self._busy:
             return
+        if (
+            self.burst > 1
+            and self.up
+            and self.delivery_hook is None
+            and self.drop_prob == 0.0
+            and self.trim_prob == 0.0
+        ):
+            self._try_transmit_burst()
+            return
         packet = self.queue.pop()
         if packet is None:
             return
@@ -158,6 +182,45 @@ class Link:
         self.sim.schedule(
             self.transmission_time(packet), lambda: self._finish(packet)
         )
+
+    def _try_transmit_burst(self) -> None:
+        """Serialize up to ``burst`` queued packets as one event batch.
+
+        Deliveries land at ``cumulative tx time + delay`` — exactly when
+        the serial path would deliver them (a packet arriving mid-burst
+        waits for the burst to finish, just as it would wait for the
+        serializer) — and one completion event replaces ``burst``
+        per-packet ``_finish`` events.  Callers guarantee the link is
+        clean (up, no hook, no impairment): the fault injector pins
+        ``burst = 1`` on every link it touches so faults keep their
+        per-packet semantics.
+        """
+        batch: List[Tuple[float, Packet]] = []
+        offset = 0.0
+        while len(batch) < self.burst:
+            packet = self.queue.pop()
+            if packet is None:
+                break
+            offset += self.transmission_time(packet)
+            batch.append((offset, packet))
+        if not batch:
+            return
+        self._busy = True
+        for tx_done, packet in batch:
+            self.sim.schedule(
+                tx_done + self.delay_s,
+                lambda p=packet: self.dst.receive(p, self),
+            )
+        self.sim.schedule(batch[-1][0], lambda: self._finish_burst(batch))
+
+    def _finish_burst(self, batch: List[Tuple[float, Packet]]) -> None:
+        self._busy = False
+        size = sum(packet.wire_size for _, packet in batch)
+        self.packets_sent += len(batch)
+        self.bytes_sent += size
+        self._m_packets.inc(len(batch))
+        self._m_bytes.inc(size)
+        self._try_transmit()
 
     def _finish(self, packet: Packet) -> None:
         self._busy = False

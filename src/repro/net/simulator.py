@@ -19,7 +19,12 @@ __all__ = ["Simulator", "Event"]
 
 @dataclass(order=True)
 class Event:
-    """One scheduled callback.  Ordered by (time, sequence)."""
+    """One scheduled callback.  Ordered by (time, sequence).
+
+    The heap itself stores ``(time, sequence, event)`` tuples so heap
+    sifting compares plain floats/ints at C speed and never falls back
+    to this dataclass ``__lt__`` (kept for API compatibility).
+    """
 
     time: float
     sequence: int
@@ -52,7 +57,7 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._sequence = itertools.count()
         self._now = 0.0
         self._processed = 0
@@ -81,7 +86,7 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         event = Event(self._now + delay, next(self._sequence), callback, _scheduler=self)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (event.time, event.sequence, event))
         self._live += 1
         return event
 
@@ -101,22 +106,33 @@ class Simulator:
             The simulation time when the run stopped.
         """
         executed = 0
-        while self._heap:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
             if max_events is not None and executed >= max_events:
                 break
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            if until is not None and event.time > until:
-                heapq.heappush(self._heap, event)
+            when = heap[0][0]
+            if until is not None and when > until:
+                # Nothing left at or before the horizon (cancelled
+                # events past it are ≥ every live one, so stopping on a
+                # cancelled head is equally correct).
                 self._now = until
                 break
-            self._now = event.time
-            event._done = True
-            self._live -= 1
-            event.callback()
-            self._processed += 1
-            executed += 1
+            # Batched pop: drain every event at this instant (including
+            # zero-delay events the callbacks themselves schedule) in
+            # one pass over the heap top.
+            while heap and heap[0][0] == when:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = pop(heap)[2]
+                if event.cancelled:
+                    continue
+                self._now = when
+                event._done = True
+                self._live -= 1
+                event.callback()
+                self._processed += 1
+                executed += 1
         else:
             if until is not None:
                 self._now = max(self._now, until)
@@ -124,9 +140,9 @@ class Simulator:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None when idle."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def pending(self) -> int:
         """Number of live events still queued (O(1) — see ``_live``)."""

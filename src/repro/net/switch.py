@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from ..obs.int_telemetry import (
     DECISION_DROP,
@@ -54,6 +54,11 @@ class SwitchStats:
     dropped: int = 0
     trimmed_bytes_saved: int = 0
     drops_by_kind: Dict[str, int] = field(default_factory=dict)
+    # ECMP accounting: flows hashed onto an equal-cost port that already
+    # carries other flows (the hash-collision hotspots that make one
+    # core link congest while its siblings idle).
+    ecmp_flows: int = 0
+    ecmp_collisions: int = 0
 
     def note_drop(self, kind: str) -> None:
         self.dropped += 1
@@ -115,6 +120,20 @@ class Switch(Device):
         # dst host -> equal-cost next hops; flows are hashed across them
         # (ECMP).  A single-element list is plain shortest-path routing.
         self.routes: Dict[str, list] = {}
+        # ECMP hash salt, set for the whole fabric by
+        # Network.build_routes(ecmp=True, ecmp_seed=...) via the shared
+        # "ecmp" PRNG purpose; 0 keeps the legacy unseeded placement.
+        self.ecmp_salt = 0
+        # (src, dst, flow_id) -> (next hop, path index).  Per-flow state,
+        # like a real switch's flow table: the 5-tuple hash runs once per
+        # flow, not per packet, and the cached index feeds INT aux.
+        self._ecmp_cache: Dict[Tuple[str, str, int], Tuple[str, int]] = {}
+        # Port -> number of distinct ECMP flows hashed onto it (collision
+        # accounting for the fairness reports).
+        self._ecmp_load: Dict[str, int] = {}
+        # Cluster seam: maps a flow id to a tenant/job label on the cold
+        # paths (trim/drop) so multi-tenant runs can attribute damage.
+        self.flow_classifier: Optional[Callable[[int, str, str], None]] = None
         self.stats = SwitchStats()
         # Stable small-integer id this switch stamps into INT records.
         self._int_hop = hop_id(name)
@@ -135,6 +154,11 @@ class Switch(Device):
         self._m_dropped = registry.counter(
             "repro_switch_dropped_total", "packets dropped", ("switch", "kind")
         )
+        self._m_ecmp_collisions = registry.counter(
+            "repro_switch_ecmp_collisions_total",
+            "new flows hashed onto an equal-cost port already carrying flows",
+            ("switch",),
+        ).bind(switch=name)
 
     # -- wiring -------------------------------------------------------------
 
@@ -163,6 +187,11 @@ class Switch(Device):
         if not hops:
             raise ValueError("next_hop list is empty")
         self.routes[dst_host] = hops
+        # Route changes invalidate the per-flow placement (and its load
+        # accounting): flows re-hash against the new equal-cost set.
+        if self._ecmp_cache:
+            self._ecmp_cache.clear()
+            self._ecmp_load.clear()
 
     def set_port_down(self, neighbor: str, down: bool = True) -> None:
         """Black out (or restore) the egress port toward ``neighbor``."""
@@ -174,27 +203,79 @@ class Switch(Device):
             self.ports_down.discard(neighbor)
 
     def _pick_next_hop(self, packet: Packet) -> Optional[str]:
-        hops = self.routes.get(packet.dst)
+        hop_and_index = self._pick_ecmp(packet)
+        return hop_and_index[0] if hop_and_index is not None else None
+
+    def route_lookup(self, src: str, dst: str, flow_id: int) -> Optional[Tuple[str, int]]:
+        """Pure ECMP resolution: (next hop, INT aux code), or None.
+
+        Multi-path groups hash the flow's 5-tuple stand-in — ``(src,
+        dst, flow_id)`` plus the switch name and the fabric-wide
+        ``ecmp_salt`` — with crc32 (stable across runs, unlike builtin
+        ``hash``) pushed through a splitmix64-style finalizer.  The aux
+        code is ``path index + 1`` for multi-path groups and 0 on a
+        single-path route, so INT records show which equal-cost leg a
+        packet took.  No state is touched: tests and
+        :meth:`Network.flow_path` call this to predict placements
+        without perturbing flow tables.
+        """
+        hops = self.routes.get(dst)
         if not hops:
             return None
         if len(hops) == 1:
-            return hops[0]
-        # Deterministic per-flow hash (crc32 is stable across runs,
-        # unlike builtin hash): same flow, same path.
-        key = (packet.flow_id * 1_000_003 + zlib.crc32(packet.dst.encode())) & 0x7FFFFFFF
-        return hops[key % len(hops)]
+            return hops[0], 0
+        # CRC32 alone is linear over GF(2): two salts hashed into the
+        # digest differ by a constant XOR per message length, which mod
+        # a small hop count collapses to a handful of parity bits — a
+        # polarization that both correlates the choice across tiers
+        # (every switch resolving a flow the same way) and makes many
+        # salts placement-equivalent.  The multiply/xor-shift avalanche
+        # below breaks that linearity, so distinct salts give
+        # uncorrelated placements.
+        digest = zlib.crc32(f"{self.name}|{src}|{dst}|{flow_id}".encode())
+        x = (digest | (self.ecmp_salt << 32)) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 31
+        index = x % len(hops)
+        return hops[index], index + 1
+
+    def _pick_ecmp(self, packet: Packet) -> Optional[Tuple[str, int]]:
+        """:meth:`route_lookup` plus the per-flow cache and accounting.
+
+        The hash runs once per flow, like a real switch's flow table;
+        the cached placement keeps a flow's packets in order and new
+        cache entries feed the ECMP load/collision counters.
+        """
+        key = (packet.src, packet.dst, packet.flow_id)
+        cached = self._ecmp_cache.get(key)
+        if cached is not None:
+            return cached
+        resolved = self.route_lookup(packet.src, packet.dst, packet.flow_id)
+        if resolved is None or resolved[1] == 0:
+            return resolved  # single-path routes skip the flow table
+        hop = resolved[0]
+        self._ecmp_cache[key] = resolved
+        carried = self._ecmp_load.get(hop, 0)
+        self.stats.ecmp_flows += 1
+        if carried:
+            self.stats.ecmp_collisions += 1
+            self._m_ecmp_collisions.inc()
+        self._ecmp_load[hop] = carried + 1
+        return resolved
 
     # -- forwarding -----------------------------------------------------------
 
     def receive(self, packet: Packet, ingress: Optional[Link] = None) -> None:
-        next_hop = self._pick_next_hop(packet)
-        if next_hop is None:
+        hop_and_index = self._pick_ecmp(packet)
+        if hop_and_index is None:
             self._drop(packet, "no-route")
             return
+        next_hop, ecmp_aux = hop_and_index
         if next_hop in self.ports_down:
             self._drop(packet, "port-blackout")
             return
-        self.forward(packet, self.ports[next_hop])
+        self.forward(packet, self.ports[next_hop], ecmp_aux=ecmp_aux)
 
     def _drop(self, packet: Packet, kind: str) -> None:
         if packet.int_ext is not None:
@@ -208,6 +289,8 @@ class Switch(Device):
             )
         self.stats.note_drop(kind)
         self._m_dropped.inc(switch=self.name, kind=kind)
+        if self.flow_classifier is not None:
+            self.flow_classifier(packet.flow_id, "drop", kind)
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
@@ -221,8 +304,13 @@ class Switch(Device):
                 bytes=packet.wire_size,
             )
 
-    def forward(self, packet: Packet, link: Link) -> None:
-        """Enqueue on ``link``, trimming or dropping on overflow."""
+    def forward(self, packet: Packet, link: Link, ecmp_aux: int = 0) -> None:
+        """Enqueue on ``link``, trimming or dropping on overflow.
+
+        ``ecmp_aux`` (path index + 1 when the route had equal-cost
+        alternatives) is stamped into the INT forward record so traces
+        show which leg of an ECMP group the packet rode.
+        """
         queue: PriorityQueue = link.queue  # type: ignore[assignment]
         fill_before = queue.data_band().fill
         if link.enqueue(packet):
@@ -234,6 +322,7 @@ class Switch(Device):
                     self.sim.now,
                     queue_depth_bytes=queue.bytes_queued,
                     fill_permille=int(fill_before * 1000),
+                    aux=ecmp_aux,
                 )
             self.stats.forwarded += 1
             self._m_forwarded.inc()
@@ -284,6 +373,8 @@ class Switch(Device):
             self.stats.trimmed_bytes_saved += saved
             self._m_trimmed.inc()
             self._m_bytes_saved.inc(saved)
+            if self.flow_classifier is not None:
+                self.flow_classifier(packet.flow_id, "trim", "buffer-overflow")
             tracer = get_tracer()
             if tracer.enabled:
                 tracer.event(

@@ -13,7 +13,9 @@ from typing import Dict, Optional
 
 import networkx as nx
 
+from ..obs.int_telemetry import is_reserved_hop_name
 from ..packet.trim import TrimPolicy
+from ..transforms.prng import derive_seed
 from .host import Host
 from .link import Device, Link
 from .simulator import Simulator
@@ -35,18 +37,37 @@ class Network:
         net.sim.run()
     """
 
-    def __init__(self, sim: Optional[Simulator] = None) -> None:
+    def __init__(self, sim: Optional[Simulator] = None, host_burst: int = 1) -> None:
         self.sim = sim or Simulator()
         self.hosts: Dict[str, Host] = {}
         self.switches: Dict[str, Switch] = {}
         self.graph = nx.Graph()
+        # Serializer batch applied to host uplinks by connect().  Kept at
+        # 1 by default: burst batching preserves delivery *times* but not
+        # event ordering at tied instants, so enabling it can flip
+        # drop decisions at a saturated shared queue.  The cluster fabric
+        # opts in (Link.HOST_BURST) where no legacy baselines exist.
+        if host_burst < 1:
+            raise ValueError(f"host_burst must be >= 1, got {host_burst}")
+        self.host_burst = host_burst
 
     # -- construction ----------------------------------------------------------
 
-    def add_host(self, name: str, **kwargs) -> Host:
-        """Create and register a host."""
+    def _check_name(self, name: str) -> None:
         if name in self.hosts or name in self.switches:
             raise ValueError(f"duplicate device name {name!r}")
+        # Devices intern their name into the INT hop registry; names the
+        # registry generates itself (link labels "a->b", the "hop<N>"
+        # fallback) would alias other hops' telemetry.
+        if is_reserved_hop_name(name):
+            raise ValueError(
+                f"device name {name!r} collides with the INT hop registry's "
+                "interned ids (link labels 'src->dst' and 'hop<N>' are reserved)"
+            )
+
+    def add_host(self, name: str, **kwargs) -> Host:
+        """Create and register a host."""
+        self._check_name(name)
         host = Host(name, self.sim, **kwargs)
         self.hosts[name] = host
         self.graph.add_node(name, kind="host")
@@ -54,8 +75,7 @@ class Network:
 
     def add_switch(self, name: str, **kwargs) -> Switch:
         """Create and register a switch."""
-        if name in self.hosts or name in self.switches:
-            raise ValueError(f"duplicate device name {name!r}")
+        self._check_name(name)
         switch = Switch(name, self.sim, **kwargs)
         self.switches[name] = switch
         self.graph.add_node(name, kind="switch")
@@ -86,13 +106,19 @@ class Network:
         dropping/trimming" congestion emulation.
         """
         dev_a, dev_b = self.device(a), self.device(b)
+        # Host uplinks may serialize bursts in one batch of events (a
+        # FIFO NIC queue has no express band to reorder, so batching
+        # preserves delivery times); switch egress always keeps
+        # per-packet events because the priority bands interleave.
         link_ab = Link(
             self.sim, a, dev_b, rate_bps, delay_s, dev_a.make_queue(),
             drop_prob=drop_prob, trim_prob=trim_prob, seed=seed,
+            burst=self.host_burst if isinstance(dev_a, Host) else 1,
         )
         link_ba = Link(
             self.sim, b, dev_a, rate_bps, delay_s, dev_b.make_queue(),
             drop_prob=drop_prob, trim_prob=trim_prob, seed=seed + 1,
+            burst=self.host_burst if isinstance(dev_b, Host) else 1,
         )
         dev_a.attach(b, link_ab)
         dev_b.attach(a, link_ba)
@@ -106,13 +132,16 @@ class Network:
             link.drop_prob = drop_prob
             link.trim_prob = trim_prob
 
-    def build_routes(self, ecmp: bool = False) -> None:
+    def build_routes(self, ecmp: bool = False, ecmp_seed: int = 0) -> None:
         """Install shortest-path routes toward every host on every switch.
 
         With ``ecmp=True`` every equal-cost next hop is installed and
         switches spread flows across them by per-flow hashing (the
         standard Clos load-balancing); otherwise a single deterministic
-        shortest path is used.
+        shortest path is used.  ``ecmp_seed`` salts the fabric-wide flow
+        hash through the shared ``"ecmp"`` PRNG purpose, so two runs of
+        the same (topology, seed) place every flow identically while
+        different seeds explore different collision patterns.
         """
         if not ecmp:
             for dst in self.hosts:
@@ -123,6 +152,9 @@ class Network:
                         continue
                     switch.set_route(dst, path[1])
             return
+        salt = derive_seed(ecmp_seed, purpose="ecmp") & 0xFFFFFFFF
+        for switch in self.switches.values():
+            switch.ecmp_salt = salt
         for dst in self.hosts:
             lengths = nx.shortest_path_length(self.graph, target=dst)
             for name, switch in self.switches.items():
@@ -138,6 +170,36 @@ class Network:
                     switch.set_route(dst, next_hops)
 
     # -- convenience -------------------------------------------------------------
+
+    def flow_path(self, src: str, dst: str, flow_id: int) -> list:
+        """The device names flow ``(src, dst, flow_id)`` traverses.
+
+        Walks the installed routes with the switches' pure
+        :meth:`~repro.net.switch.Switch.route_lookup` (no flow-table or
+        counter side effects), so tests and fault planners can predict
+        ECMP placements without perturbing the fabric.  Raises if the
+        walk dead-ends or loops.
+        """
+        if src not in self.hosts or dst not in self.hosts:
+            raise KeyError(f"flow endpoints must be hosts: {src!r} -> {dst!r}")
+        host = self.hosts[src]
+        if host.uplink is None:
+            raise ValueError(f"host {src!r} has no uplink")
+        path = [src]
+        current = host.uplink.dst.name
+        while current != dst:
+            path.append(current)
+            if len(path) > len(self.hosts) + len(self.switches):
+                raise ValueError(f"routing loop on {src}->{dst} flow {flow_id}: {path}")
+            switch = self.switches.get(current)
+            if switch is None:
+                raise ValueError(f"{src}->{dst} flow {flow_id} dead-ends at {current}")
+            resolved = switch.route_lookup(src, dst, flow_id)
+            if resolved is None:
+                raise ValueError(f"{current} has no route toward {dst}")
+            current = resolved[0]
+        path.append(dst)
+        return path
 
     def link_between(self, a: str, b: str) -> Link:
         """The egress link from ``a`` toward ``b``."""
@@ -166,6 +228,7 @@ def dumbbell(
     trim_policy: Optional[TrimPolicy] = None,
     buffer_bytes: int = 60_000,
     ecn_threshold_bytes: Optional[int] = None,
+    host_burst: int = 1,
 ) -> Network:
     """Classic dumbbell: senders -> S0 == S1 -> receivers.
 
@@ -173,7 +236,7 @@ def dumbbell(
     canonical setup for studying congestion at a single queue.  Senders
     are ``tx0..`` and receivers ``rx0..``.
     """
-    net = Network()
+    net = Network(host_burst=host_burst)
     for side in ("s0", "s1"):
         net.add_switch(
             side,
@@ -201,6 +264,9 @@ def leaf_spine(
     trim_policy: Optional[TrimPolicy] = None,
     buffer_bytes: int = 60_000,
     ecn_threshold_bytes: Optional[int] = None,
+    ecmp: bool = False,
+    ecmp_seed: int = 0,
+    host_burst: int = 1,
 ) -> Network:
     """Two-tier Clos: every leaf connects to every spine.
 
@@ -209,7 +275,7 @@ def leaf_spine(
     — the paper's motivating setting is an over-subscribed second-layer
     fabric between training clusters.
     """
-    net = Network()
+    net = Network(host_burst=host_burst)
     for s in range(spines):
         net.add_switch(
             f"spine{s}",
@@ -230,7 +296,7 @@ def leaf_spine(
             name = f"h{leaf}_{i}"
             net.add_host(name)
             net.connect(name, f"leaf{leaf}", rate_bps=host_rate_bps, delay_s=delay_s)
-    net.build_routes()
+    net.build_routes(ecmp=ecmp, ecmp_seed=ecmp_seed)
     return net
 
 
@@ -241,6 +307,9 @@ def fat_tree(
     trim_policy: Optional[TrimPolicy] = None,
     buffer_bytes: int = 60_000,
     ecn_threshold_bytes: Optional[int] = None,
+    ecmp: bool = False,
+    ecmp_seed: int = 0,
+    host_burst: int = 1,
 ) -> Network:
     """A k-ary fat-tree (k even): k pods, k²/4 cores, k²*k/4 hosts.
 
@@ -249,7 +318,7 @@ def fat_tree(
     """
     if k % 2 != 0 or k < 2:
         raise ValueError(f"fat-tree degree k must be even and >= 2, got {k}")
-    net = Network()
+    net = Network(host_burst=host_burst)
     half = k // 2
 
     def sw(name: str) -> None:
@@ -278,5 +347,5 @@ def fat_tree(
                 name = f"h{pod}_{e}_{h}"
                 net.add_host(name)
                 net.connect(name, edge, rate_bps=rate_bps, delay_s=delay_s)
-    net.build_routes()
+    net.build_routes(ecmp=ecmp, ecmp_seed=ecmp_seed)
     return net

@@ -100,9 +100,9 @@ class PacketTracer:
         self._wrapped.add(id(switch))
         original_forward = switch.forward
 
-        def forward(packet: Packet, link: Link) -> None:
+        def forward(packet: Packet, link: Link, ecmp_aux: int = 0) -> None:
             before = (switch.stats.forwarded, switch.stats.trimmed, switch.stats.dropped)
-            original_forward(packet, link)
+            original_forward(packet, link, ecmp_aux=ecmp_aux)
             after = (switch.stats.forwarded, switch.stats.trimmed, switch.stats.dropped)
             if after[0] > before[0]:
                 self._record("forward", switch.name, packet)

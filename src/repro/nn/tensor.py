@@ -9,6 +9,7 @@ gradient of a broadcast operand is summed back to its shape).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
@@ -17,25 +18,36 @@ __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 Number = Union[int, float]
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Per-thread tape-recording switch.
+
+    Thread-local, not a module global: the cluster driver trains
+    concurrent jobs on their own threads, and one job evaluating under
+    :class:`no_grad` must not stop another job's forward pass from
+    recording its tape.
+    """
+
+    enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 class no_grad:
     """Context manager disabling tape recording (inference mode)."""
 
     def __enter__(self) -> None:
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = _GRAD_MODE.enabled
+        _GRAD_MODE.enabled = False
 
     def __exit__(self, *exc) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_MODE.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
-    """Whether new ops are recorded on the tape."""
-    return _GRAD_ENABLED
+    """Whether new ops are recorded on the tape (in this thread)."""
+    return _GRAD_MODE.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -72,7 +84,7 @@ class Tensor:
     ) -> None:
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = requires_grad and _GRAD_ENABLED
+        self.requires_grad = requires_grad and _GRAD_MODE.enabled
         self._parents = _parents if self.requires_grad else ()
         self._backward = _backward
 
@@ -120,7 +132,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _GRAD_MODE.enabled and any(p.requires_grad for p in parents)
         return Tensor(data, requires_grad=requires, _parents=parents, _backward=backward)
 
     def _accumulate(self, grad: np.ndarray) -> None:

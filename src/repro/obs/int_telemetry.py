@@ -30,6 +30,7 @@ path.
 from __future__ import annotations
 
 import json
+import re
 import struct
 from dataclasses import dataclass
 from typing import IO, TYPE_CHECKING, Dict, List, Optional, Tuple
@@ -63,6 +64,7 @@ __all__ = [
     "int_capacity",
     "hop_id",
     "hop_name",
+    "is_reserved_hop_name",
     "reset_hop_registry",
     "get_int_collector",
     "set_int_collector",
@@ -152,6 +154,23 @@ def hop_name(hid: int) -> str:
     if 0 <= hid < len(_HOP_NAMES):
         return _HOP_NAMES[hid]
     return f"hop{hid}"
+
+
+#: Names the registry itself generates: link labels ("a->b", interned by
+#: every Link) and the ``hop<N>`` fallback rendering for unknown ids.
+_FALLBACK_HOP_RE = re.compile(r"hop\d+")
+
+
+def is_reserved_hop_name(name: str) -> bool:
+    """True when ``name`` would collide with a registry-generated id.
+
+    Links intern their ``"src->dst"`` label and :func:`hop_name` renders
+    unknown ids as ``hop<N>``, so a *device* with either shape of name
+    would alias an existing (or future) registry entry and corrupt the
+    telemetry attribution.  :meth:`repro.net.topology.Network.add_host`
+    and ``add_switch`` reject such names up front.
+    """
+    return "->" in name or _FALLBACK_HOP_RE.fullmatch(name) is not None
 
 
 def reset_hop_registry() -> None:

@@ -31,6 +31,7 @@ _PURPOSES = {
     "init": 6,
     "crosstraffic": 7,
     "fault": 8,
+    "ecmp": 9,
 }
 
 

@@ -186,5 +186,5 @@ class TestPendingCounter:
         events = [sim.schedule(float(i + 1), lambda: None) for i in range(20)]
         for event in events[::3]:
             event.cancel()
-        live_truth = sum(1 for e in sim._heap if not e.cancelled)
+        live_truth = sum(1 for _, _, e in sim._heap if not e.cancelled)
         assert sim.pending() == live_truth

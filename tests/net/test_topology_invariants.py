@@ -1,0 +1,154 @@
+"""Topology invariants: the builders produce the shapes the math says.
+
+Fat-tree counts follow Al-Fares et al.: a k-ary fat-tree has k pods,
+(k/2)^2 cores, k^2/2 pod switches, k^3/4 hosts and a bisection of
+k^3/8 core links.  Reachability is checked with the routing actually
+installed (``Network.flow_path``), not just graph connectivity — a
+wired-but-unrouted fabric must fail here.
+"""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.net.topology import dumbbell, fat_tree, leaf_spine
+
+
+class TestFatTreeCounts:
+    @pytest.mark.parametrize("k", [4, 6, 8])
+    def test_switch_and_host_counts(self, k):
+        net = fat_tree(k=k)
+        assert len(net.switches) == 5 * k * k // 4
+        assert len(net.hosts) == k**3 // 4
+        cores = [s for s in net.switches if s.startswith("core")]
+        aggs = [s for s in net.switches if s.startswith("agg")]
+        edges = [s for s in net.switches if s.startswith("edge")]
+        assert len(cores) == (k // 2) ** 2
+        assert len(aggs) == len(edges) == k * k // 2
+
+    @pytest.mark.parametrize("k", [4, 6, 8])
+    def test_link_counts(self, k):
+        net = fat_tree(k=k)
+        # Host, edge-agg and agg-core tiers each contribute k^3/4 cables.
+        assert net.graph.number_of_edges() == 3 * k**3 // 4
+        for host in net.hosts:
+            assert net.graph.degree(host) == 1
+        for core in (s for s in net.switches if s.startswith("core")):
+            assert net.graph.degree(core) == k
+
+    @pytest.mark.parametrize("k", [4, 6, 8])
+    def test_bisection_width(self, k):
+        net = fat_tree(k=k)
+        # Cut the fabric between the left and right half of the pods:
+        # only agg<->core cables cross, (k/2 pods) * (k/2 aggs) * (k/2
+        # core links each) = k^3/8 — full bisection bandwidth.
+        left_aggs = {
+            f"agg{pod}_{i}" for pod in range(k // 2) for i in range(k // 2)
+        }
+        crossing = sum(
+            1
+            for a, b in net.graph.edges
+            if (a in left_aggs and b.startswith("core"))
+            or (b in left_aggs and a.startswith("core"))
+        )
+        assert crossing == k**3 // 8
+
+
+class TestFatTreeReachability:
+    def test_all_pairs_shortest_paths_k4(self):
+        net = fat_tree(k=4)
+        for src, dst in itertools.permutations(net.hosts, 2):
+            path = net.flow_path(src, dst, flow_id=1)
+            assert path[0] == src and path[-1] == dst
+            assert len(path) - 1 == nx.shortest_path_length(net.graph, src, dst)
+
+    def test_all_pairs_shortest_paths_k4_ecmp(self):
+        net = fat_tree(k=4, ecmp=True, ecmp_seed=3)
+        for src, dst in itertools.permutations(net.hosts, 2):
+            path = net.flow_path(src, dst, flow_id=9)
+            assert len(path) - 1 == nx.shortest_path_length(net.graph, src, dst)
+
+    def test_sampled_pairs_k6(self):
+        net = fat_tree(k=6, ecmp=True, ecmp_seed=1)
+        hosts = sorted(net.hosts)
+        samples = [(hosts[i], hosts[-1 - i]) for i in range(0, len(hosts), 5)]
+        for src, dst in samples:
+            if src == dst:
+                continue
+            path = net.flow_path(src, dst, flow_id=2)
+            assert len(path) - 1 == nx.shortest_path_length(net.graph, src, dst)
+
+    def test_path_tiers(self):
+        net = fat_tree(k=4)
+        # Same edge: h -> edge -> h'.
+        assert len(net.flow_path("h0_0_0", "h0_0_1", 1)) == 3
+        # Same pod, different edge: via one agg.
+        assert len(net.flow_path("h0_0_0", "h0_1_0", 1)) == 5
+        # Cross-pod: via one core.
+        path = net.flow_path("h0_0_0", "h3_1_1", 1)
+        assert len(path) == 7
+        assert any(node.startswith("core") for node in path)
+
+
+class TestLeafSpineShape:
+    @pytest.mark.parametrize("leaves,spines,per_leaf", [(2, 2, 4), (4, 3, 2)])
+    def test_counts(self, leaves, spines, per_leaf):
+        net = leaf_spine(leaves=leaves, spines=spines, hosts_per_leaf=per_leaf)
+        assert len(net.switches) == leaves + spines
+        assert len(net.hosts) == leaves * per_leaf
+        assert net.graph.number_of_edges() == leaves * spines + leaves * per_leaf
+        for s in range(spines):
+            assert net.graph.degree(f"spine{s}") == leaves
+
+    def test_cross_leaf_paths_use_a_spine(self):
+        net = leaf_spine(leaves=2, spines=2, hosts_per_leaf=2, ecmp=True)
+        path = net.flow_path("h0_0", "h1_1", flow_id=4)
+        assert len(path) == 5
+        assert path[2].startswith("spine")
+
+
+class TestDumbbellShape:
+    @pytest.mark.parametrize("pairs", [1, 4])
+    def test_counts(self, pairs):
+        net = dumbbell(pairs=pairs)
+        assert len(net.switches) == 2
+        assert len(net.hosts) == 2 * pairs
+        assert net.graph.number_of_edges() == 2 * pairs + 1
+
+    def test_paths_cross_the_bottleneck(self):
+        net = dumbbell(pairs=2)
+        assert net.flow_path("tx0", "rx1", 1) == ["tx0", "s0", "s1", "rx1"]
+
+
+class TestReservedDeviceNames:
+    """Device names may not alias the INT hop registry's interned ids."""
+
+    def test_hop_fallback_names_rejected(self):
+        net = dumbbell(pairs=1)
+        with pytest.raises(ValueError, match="INT hop registry"):
+            net.add_host("hop3")
+        with pytest.raises(ValueError, match="INT hop registry"):
+            net.add_switch("hop12")
+
+    def test_link_label_names_rejected(self):
+        net = dumbbell(pairs=1)
+        with pytest.raises(ValueError, match="INT hop registry"):
+            net.add_host("a->b")
+        with pytest.raises(ValueError, match="INT hop registry"):
+            net.add_switch("s0->s1")
+
+    def test_duplicates_still_rejected(self):
+        net = dumbbell(pairs=1)
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_host("tx0")
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_switch("s0")
+        # Across kinds too: a host may not shadow a switch.
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_host("s1")
+
+    def test_ordinary_names_still_fine(self):
+        net = dumbbell(pairs=1)
+        net.add_host("hopper")  # contains "hop" but is not hop<N>
+        net.add_switch("shop2floor")
