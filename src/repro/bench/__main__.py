@@ -22,6 +22,12 @@ pytest run) are checked against the committed baseline
     python -m repro.bench --compare
     python -m repro.bench --compare --threshold 0.5
     python -m repro.bench --compare --update-baseline   # bless current run
+
+``--profile-sim`` runs the k=4 fat-tree cluster benchmark under
+:class:`~repro.obs.profile.SimProfiler` and prints the per-stage
+wall/modeled time table — the first stop when the simulator gets slow::
+
+    python -m repro.bench --profile-sim
 """
 
 from __future__ import annotations
@@ -90,6 +96,72 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_profile_sim(args: argparse.Namespace) -> int:
+    """--profile-sim: the fat-tree benchmark fabric under SimProfiler."""
+    from time import perf_counter
+
+    from .. import configure_logging
+    from ..net.crosstraffic import CROSS_TRAFFIC_FLOW_BASE, OnOffFlow
+    from ..net.topology import fat_tree
+    from ..obs.profile import SimProfiler
+
+    configure_logging()
+    # Mirrors benchmarks/test_fattree_sim.py: a k=4 fat-tree with eight
+    # on/off tenants crossing pods, drained for a fixed simulated window.
+    pairs = [
+        ("h0_0_0", "h2_1_1"), ("h0_0_1", "h3_0_0"),
+        ("h0_1_0", "h2_0_1"), ("h1_0_0", "h3_1_1"),
+        ("h1_1_1", "h2_0_0"), ("h2_1_0", "h0_0_1"),
+        ("h3_0_1", "h1_1_0"), ("h3_1_0", "h0_1_1"),
+    ]
+    net = fat_tree(k=4, rate_bps=10e9, ecmp=True, ecmp_seed=3, host_burst=8)
+    for index, (src, dst) in enumerate(pairs):
+        OnOffFlow(
+            net.sim,
+            net.hosts[src],
+            dst,
+            rate_bps=2.5e9,
+            burst_s=200e-6,
+            idle_s=50e-6,
+            seed=index,
+            flow_id=CROSS_TRAFFIC_FLOW_BASE + 900_000 + index,
+            stop_at=args.window_s,
+        ).start()
+    profiler = SimProfiler()
+    profiler.install(net.sim)
+    start = perf_counter()
+    net.sim.run(until=args.window_s)
+    wall_s = perf_counter() - start
+    profiler.uninstall(net.sim)
+    rows = [
+        [
+            row["stage"],
+            f"{row['events']:,}",
+            f"{row['wall_s'] * 1e3:.2f}",
+            f"{row['wall_share'] * 100:.1f}%",
+            f"{row['modeled_s'] * 1e6:.1f}",
+            f"{row['modeled_share'] * 100:.1f}%",
+        ]
+        for row in profiler.report()
+    ]
+    _log.info(
+        "\nfat-tree k=4 (ecmp, host_burst=8, 8 tenants): %d events in "
+        "%.4fs wall (%.3fms simulated, %.0f events/s)",
+        net.sim.events_processed,
+        wall_s,
+        net.sim.now * 1e3,
+        net.sim.events_processed / wall_s if wall_s else 0.0,
+    )
+    _log.info(
+        "%s",
+        format_table(
+            ["stage", "events", "wall (ms)", "wall %", "modeled (us)", "modeled %"],
+            rows,
+        ),
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -142,11 +214,25 @@ def main(argv=None) -> int:
         action="store_true",
         help="with --compare: merge the current results into the baseline file",
     )
+    parser.add_argument(
+        "--profile-sim",
+        action="store_true",
+        help="profile the fat-tree cluster benchmark per pipeline stage",
+    )
+    parser.add_argument(
+        "--window-s",
+        type=float,
+        default=5e-3,
+        metavar="SECONDS",
+        help="with --profile-sim: simulated window to drain (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     if args.compare:
         return _run_compare(args)
+    if args.profile_sim:
+        return _run_profile_sim(args)
     if args.experiment is None:
-        parser.error("an experiment is required unless --compare is given")
+        parser.error("an experiment is required unless --compare or --profile-sim is given")
     if args.scale:
         os.environ["REPRO_BENCH_SCALE"] = args.scale
     scale = args.scale or os.environ.get("REPRO_BENCH_SCALE", "quick")

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..obs.int_telemetry import INTExtension, int_capacity
 from ..obs.trace import get_tracer
+from ..packet import arena as _arena
 from ..packet.bitpack import pack_segments, packed_size, unpack_batch
 from ..packet.header import (
     FLAG_INT,
@@ -128,8 +129,13 @@ def packetize(
         seed=meta.seed,
         flags=FLAG_METADATA | int_flag,
     )
+    # Message-kind packets: the transport sender retains them for
+    # retransmission, so only the transfer owner (the channel/driver)
+    # may recycle them — network sinks refuse (see repro.packet.arena).
+    pool = _arena._ARENA
     packets.append(
-        Packet(
+        pool.acquire(
+            _arena.KIND_MESSAGE,
             src=src,
             dst=dst,
             payload=meta_header.to_bytes() + meta.to_bytes(),
@@ -192,7 +198,8 @@ def packetize(
         cursor += head_bytes
         buf[cursor : cursor + tail_bytes] = tails_buf[ts : ts + tail_bytes]
         packets.append(
-            Packet(
+            pool.acquire(
+                _arena.KIND_MESSAGE,
                 src=src,
                 dst=dst,
                 payload=views[pos : pos + payload_size],

@@ -13,8 +13,10 @@ The paper's setting is a *shared* fabric: training flows collide with
 from __future__ import annotations
 
 import zlib
+from heapq import heappush
 from typing import Optional
 
+from ..packet import arena as _arena
 from ..packet.packet import Packet
 from ..transforms.prng import shared_generator
 from .host import Host
@@ -69,6 +71,11 @@ class OnOffFlow:
         self._rng = shared_generator(seed, purpose="crosstraffic")
         self.packets_emitted = 0
         self._active = False
+        # Hot-path state: one shared payload object for every filler
+        # packet (the bytes are never mutated in flight) and the end of
+        # the burst in progress, so the pacing callback needs no closure.
+        self._payload = b"\x00" * (packet_bytes - 42)
+        self._burst_until = 0.0
 
     def start(self, delay: float = 0.0) -> None:
         """Begin the on/off cycle ``delay`` seconds from now."""
@@ -88,24 +95,39 @@ class OnOffFlow:
         if self._stopped():
             return
         duration = self._rng.exponential(self.burst_s)
-        self._emit(until=self.sim.now + duration)
+        self._burst_until = self.sim.now + duration
+        self._emit()
 
-    def _emit(self, until: float) -> None:
+    def _emit(self) -> None:
         if self._stopped():
             return
-        if self.sim.now >= until:
-            self.sim.schedule(self._rng.exponential(self.idle_s), self._begin_burst)
+        sim = self.sim
+        if sim.now >= self._burst_until:
+            sim.schedule(self._rng.exponential(self.idle_s), self._begin_burst)
             return
-        packet = Packet(
-            src=self.src.name,
-            dst=self.dst,
-            payload=b"\x00" * (self.packet_bytes - 42),
-            flow_id=self.flow_id,
+        packet = _arena._ARENA.acquire_filler(
+            self.src.name, self.dst, self._payload, self.flow_id
         )
-        self.src.send(packet)
+        accepted = self.src.send(packet)
         self.packets_emitted += 1
         gap = packet.wire_size * 8.0 / self.rate_bps
-        self.sim.schedule(gap, lambda: self._emit(until))
+        # Unbound method + self: zero-allocation pacing tick, posted as
+        # Simulator.schedule_call inlined (keep in sync with simulator.py).
+        when = sim.now + gap
+        entry = (when, next(sim._sequence), OnOffFlow._emit, self)
+        idx = int(when * sim._inv)
+        offset = idx - sim._cur
+        if offset <= 0:
+            heappush(sim._curb, entry)
+        elif offset < sim._nb:
+            heappush(sim._buckets[idx & sim._mask], entry)
+        else:
+            heappush(sim._far, entry)
+        sim._live += 1
+        if not accepted:
+            # The NIC queue rejected it; nothing downstream will ever
+            # see this object again.
+            _arena._ARENA.release_transient(packet)
 
 
 class IncastBurst:
@@ -147,14 +169,15 @@ class IncastBurst:
 
     def _blast(self, sender: Host, rank: int) -> None:
         remaining = self.burst_bytes
+        full = b"\x00" * (self.packet_bytes - 42)
+        flow_id = self.flow_id_base + rank
+        src = sender.name
         while remaining > 0:
             size = min(self.packet_bytes, remaining + 42)
-            packet = Packet(
-                src=sender.name,
-                dst=self.dst,
-                payload=b"\x00" * max(0, size - 42),
-                flow_id=self.flow_id_base + rank,
-            )
-            sender.send(packet)
+            payload = full if size == self.packet_bytes else b"\x00" * max(0, size - 42)
+            packet = _arena._ARENA.acquire_filler(src, self.dst, payload, flow_id)
+            accepted = sender.send(packet)
             self.packets_emitted += 1
             remaining -= size - 42
+            if not accepted:
+                _arena._ARENA.release_transient(packet)

@@ -9,6 +9,7 @@ cables are simply two Links.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
@@ -16,11 +17,17 @@ import numpy as np
 from ..obs.int_telemetry import DECISION_TRIM, REASON_LINK_IMPAIRMENT, hop_id
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
+from ..packet import arena as _arena
 from ..packet.packet import Packet
 from .queues import ByteQueue, PriorityQueue
 from .simulator import Simulator
 
 __all__ = ["Device", "Link", "DeliveryHook"]
+
+#: Below this batch size the scalar cumulative-offset loop beats the
+#: numpy round trip; at or above it the vectorized path wins.  Both
+#: compute bit-identical offsets (sequential accumulation either way).
+_VECTOR_MIN_BURST = 16
 
 #: Fault-injection seam: maps a packet about to cross the wire to the
 #: list of ``(extra_delay_s, packet)`` deliveries that actually happen.
@@ -59,9 +66,11 @@ class Link:
             queued packets at once and schedules their deliveries at the
             exact per-packet cumulative serialization times — identical
             timing to the one-at-a-time path, ~half the simulator events.
-            Only safe on FIFO queues (host NICs): a priority queue could
+            Only exact on FIFO queues (host NICs): a priority queue could
             admit an express packet mid-burst that the batch would
-            wrongly hold back, so switch egress keeps ``burst=1``.
+            wrongly hold back, so switch egress defaults to ``burst=1``
+            (``Network(switch_burst=...)`` opts in, accepting a priority
+            inversion bounded by ``burst - 1`` data serializations).
     """
 
     #: Batch size Network.connect applies to host uplinks.
@@ -134,10 +143,35 @@ class Link:
             "packets trimmed by probabilistic impairment",
             ("link",),
         ).bind(link=label)
+        # The per-packet sent/bytes twins are deferred: _finish keeps
+        # the plain attributes and the registry pulls them on read.
+        registry.add_flush_hook(self._flush_metrics)
         self._label = label
         # Stable small-integer id this link stamps into INT records when
         # probabilistic impairment trims a packet in flight.
         self._int_hop = hop_id(label)
+        # Prebuilt bound methods for Simulator.schedule_call: the hot
+        # path posts (delay, fn, packet) tuples instead of allocating a
+        # closure + Event per packet.  Deliveries post ``dst.receive``
+        # looked up per schedule, so per-instance wrappers (PacketTracer
+        # attaches before the run, when nothing is in flight) still
+        # intercept every delivery.
+        self._finish_cb = self._finish
+        self._finish_burst_cb = self._finish_burst
+        # Bound scheduler entry points, cached once per link: the
+        # profiler times events at the dispatch level (run_profiled),
+        # so caching these cannot hide anything from it.
+        self._sched_call = sim.schedule_call
+        self._sched_batch = sim.schedule_batch
+        # Priority bands for the inline refill probe in _finish (None
+        # for plain FIFO queues, which use queue.pop()).  The queue is
+        # fixed at construction, so this never goes stale.
+        self._pq_bands = queue.bands if isinstance(queue, PriorityQueue) else None
+
+    def _flush_metrics(self) -> None:
+        """Publish deferred per-packet counters into the registry."""
+        self._m_packets.set(self.packets_sent)
+        self._m_bytes.set(self.bytes_sent)
 
     @property
     def busy(self) -> bool:
@@ -155,13 +189,19 @@ class Link:
         whether to trim or drop).
         """
         accepted = self.queue.push(packet)
-        if accepted:
+        if accepted and not self._busy:
             self._try_transmit()
         return accepted
 
     def kick(self) -> None:
         """Restart transmission after the caller enqueued directly."""
         self._try_transmit()
+
+    def _deliver(self, packet: Packet) -> None:
+        # Kept for introspection/tests; the transmit paths schedule
+        # ``dst.receive`` directly (looked up when the delivery is
+        # posted, so instance-attribute wrappers still intercept).
+        self.dst.receive(packet, self)
 
     def _try_transmit(self) -> None:
         if self._busy:
@@ -179,8 +219,8 @@ class Link:
         if packet is None:
             return
         self._busy = True
-        self.sim.schedule(
-            self.transmission_time(packet), lambda: self._finish(packet)
+        self._sched_call(
+            packet.wire_size * 8.0 / self.rate_bps, self._finish_cb, packet
         )
 
     def _try_transmit_burst(self) -> None:
@@ -194,40 +234,173 @@ class Link:
         clean (up, no hook, no impairment): the fault injector pins
         ``burst = 1`` on every link it touches so faults keep their
         per-packet semantics.
+
+        Large batches (>= 16) compute the cumulative serialization
+        offsets with numpy over the packet-size array; ``np.cumsum``
+        accumulates sequentially, so the offsets are bit-identical to
+        the scalar loop and the crossover is purely a speed choice.
         """
-        batch: List[Tuple[float, Packet]] = []
-        offset = 0.0
-        while len(batch) < self.burst:
-            packet = self.queue.pop()
-            if packet is None:
-                break
-            offset += self.transmission_time(packet)
-            batch.append((offset, packet))
-        if not batch:
+        packets: List[Packet] = []
+        count = 0
+        burst = self.burst
+        bands = self._pq_bands
+        if bands is not None:
+            # Inline PriorityQueue.pop: the loop runs once per queued
+            # packet plus one all-empty probe, and both bands are short.
+            while count < burst:
+                for band in bands:
+                    items = band._items
+                    if items:
+                        packet = items.popleft()
+                        band._bytes -= packet.wire_size
+                        band.dequeued += 1
+                        packets.append(packet)
+                        count += 1
+                        break
+                else:
+                    break
+        else:
+            queue = self.queue
+            while count < burst:
+                packet = queue.pop()
+                if packet is None:
+                    break
+                packets.append(packet)
+                count += 1
+        if not packets:
             return
         self._busy = True
-        for tx_done, packet in batch:
-            self.sim.schedule(
-                tx_done + self.delay_s,
-                lambda p=packet: self.dst.receive(p, self),
-            )
-        self.sim.schedule(batch[-1][0], lambda: self._finish_burst(batch))
+        rate = self.rate_bps
+        delay = self.delay_s
+        recv = self.dst.receive
+        if count == 1:
+            # Paced senders usually find the serializer idle with one
+            # packet queued; post the same two entries the batch below
+            # would (same order, consecutive sequence numbers, same
+            # times) without building the items list.  Both posts are
+            # Simulator.schedule_call inlined (keep in sync with
+            # simulator.py).
+            packet = packets[0]
+            tx = packet.wire_size * 8.0 / rate
+            sim = self.sim
+            now = sim.now
+            sequence = sim._sequence
+            inv = sim._inv
+            cur = sim._cur
+            nb = sim._nb
+            when = now + (tx + delay)
+            entry = (when, next(sequence), recv, packet)
+            idx = int(when * inv)
+            offset = idx - cur
+            if offset <= 0:
+                heappush(sim._curb, entry)
+            elif offset < nb:
+                heappush(sim._buckets[idx & sim._mask], entry)
+            else:
+                heappush(sim._far, entry)
+            when = now + tx
+            entry = (when, next(sequence), self._finish_burst_cb, packets)
+            idx = int(when * inv)
+            offset = idx - cur
+            if offset <= 0:
+                heappush(sim._curb, entry)
+            elif offset < nb:
+                heappush(sim._buckets[idx & sim._mask], entry)
+            else:
+                heappush(sim._far, entry)
+            sim._live += 2
+            return
+        if count >= _VECTOR_MIN_BURST:
+            sizes = np.empty(count, dtype=np.float64)
+            for i, packet in enumerate(packets):
+                sizes[i] = packet.wire_size
+            offsets = np.cumsum(sizes * 8.0 / rate)
+            last = float(offsets[-1])
+            items: List[Tuple[float, Callable, object]] = [
+                (float(offsets[i]) + delay, recv, packets[i])
+                for i in range(count)
+            ]
+        else:
+            offset = 0.0
+            items = []
+            for packet in packets:
+                offset += packet.wire_size * 8.0 / rate
+                items.append((offset + delay, recv, packet))
+            last = offset
+        items.append((last, self._finish_burst_cb, packets))
+        self._sched_batch(items)
 
-    def _finish_burst(self, batch: List[Tuple[float, Packet]]) -> None:
+    def _finish_burst(self, packets: List[Packet]) -> None:
         self._busy = False
-        size = sum(packet.wire_size for _, packet in batch)
-        self.packets_sent += len(batch)
+        size = 0
+        for packet in packets:
+            size += packet.wire_size
+        self.packets_sent += len(packets)
         self.bytes_sent += size
-        self._m_packets.inc(len(batch))
-        self._m_bytes.inc(size)
         self._try_transmit()
 
     def _finish(self, packet: Packet) -> None:
-        self._busy = False
         self.packets_sent += 1
         self.bytes_sent += packet.wire_size
-        self._m_packets.inc()
-        self._m_bytes.inc(packet.wire_size)
+        if (
+            self.up
+            and self.delivery_hook is None
+            and (packet.is_ack or (self.drop_prob == 0.0 and self.trim_prob == 0.0))
+        ):
+            # Clean wire: deliver after propagation and immediately refill
+            # the serializer.  Identical event structure to the general
+            # path below, minus allocations and impairment draws.  The
+            # delivery post is Simulator.schedule_call inlined (same
+            # entry tuple, sequence stream, and bucket placement — keep
+            # in sync with simulator.py): it runs once per packet on
+            # every clean link.
+            sim = self.sim
+            when = sim.now + self.delay_s
+            entry = (when, next(sim._sequence), self.dst.receive, packet)
+            idx = int(when * sim._inv)
+            offset = idx - sim._cur
+            if offset <= 0:
+                heappush(sim._curb, entry)
+            elif offset < sim._nb:
+                heappush(sim._buckets[idx & sim._mask], entry)
+            else:
+                heappush(sim._far, entry)
+            sim._live += 1
+            sched = self._sched_call
+            if self.burst == 1:
+                # Inline refill: probe the priority bands (or pop a FIFO)
+                # here instead of round-tripping through _try_transmit;
+                # _busy stays True across the probe (nothing reentrant
+                # runs inside it).  The band walk is PriorityQueue.pop
+                # verbatim — both bands empty is the common case.
+                bands = self._pq_bands
+                if bands is not None:
+                    for band in bands:
+                        items = band._items
+                        if items:
+                            nxt = items.popleft()
+                            band._bytes -= nxt.wire_size
+                            band.dequeued += 1
+                            sched(
+                                nxt.wire_size * 8.0 / self.rate_bps,
+                                self._finish_cb,
+                                nxt,
+                            )
+                            return
+                    self._busy = False
+                    return
+                nxt = self.queue.pop()
+                if nxt is not None:
+                    sched(
+                        nxt.wire_size * 8.0 / self.rate_bps, self._finish_cb, nxt
+                    )
+                    return
+                self._busy = False
+                return
+            self._busy = False
+            self._try_transmit()
+            return
+        self._busy = False
         if not self.up:
             # The cable is flapped down: everything on the wire is lost,
             # control packets included — a dead link spares nothing.
@@ -241,6 +414,7 @@ class Link:
                     flow_id=packet.flow_id,
                     seq=packet.seq,
                 )
+            _arena._ARENA.release_transient(packet)
             self._try_transmit()
             return
         delivered: Optional[Packet] = packet
@@ -258,6 +432,7 @@ class Link:
                         flow_id=packet.flow_id,
                         seq=packet.seq,
                     )
+                _arena._ARENA.release_transient(packet)
             elif (
                 self.trim_prob > 0.0
                 and packet.trimmable_bytes() is not None
@@ -282,14 +457,20 @@ class Link:
                         flow_id=packet.flow_id,
                         seq=packet.seq,
                     )
+                # The un-pooled trim twin travels on; a transient
+                # original (filler/control) is dead here.
+                _arena._ARENA.release_transient(packet)
         if delivered is not None:
             deliveries: List[Tuple[float, Packet]] = [(0.0, delivered)]
             if self.delivery_hook is not None:
+                # A hook may duplicate (deliver the same object twice),
+                # hold, or mutate the packet — detach it from any arena
+                # so no sink can recycle an object with pending aliases.
+                delivered._pool = None
                 deliveries = self.delivery_hook(delivered)
             for extra_delay, final in deliveries:
-                self.sim.schedule(
-                    self.delay_s + extra_delay,
-                    lambda p=final: self.dst.receive(p, self),
+                self._sched_call(
+                    self.delay_s + extra_delay, self.dst.receive, final
                 )
         self._try_transmit()
 

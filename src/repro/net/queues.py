@@ -64,19 +64,19 @@ class ByteQueue:
 
     def push(self, packet: Packet) -> bool:
         """Enqueue; returns False (and counts a rejection) on overflow."""
-        if not self.fits(packet):
+        new_bytes = self._bytes + packet.wire_size
+        if new_bytes > self.capacity_bytes:
             self.rejected += 1
             return False
-        if (
-            self.ecn_threshold_bytes is not None
-            and self._bytes + packet.wire_size > self.ecn_threshold_bytes
-        ):
+        threshold = self.ecn_threshold_bytes
+        if threshold is not None and new_bytes > threshold:
             packet.ecn = True
             self.ecn_marked += 1
         self._items.append(packet)
-        self._bytes += packet.wire_size
+        self._bytes = new_bytes
         self.enqueued += 1
-        self.peak_bytes = max(self.peak_bytes, self._bytes)
+        if new_bytes > self.peak_bytes:
+            self.peak_bytes = new_bytes
         return True
 
     def pop(self) -> Optional[Packet]:
@@ -113,21 +113,32 @@ class PriorityQueue:
             )
             for i, cap in enumerate(band_capacities)
         ]
+        # The band list is fixed for the queue's lifetime; the per-push
+        # index arithmetic reads this instead of len(bands) - 1.
+        self._last_band = len(self.bands) - 1
 
     def band_for(self, packet: Packet) -> int:
         """Band index (0 = served first) for this packet's priority."""
-        clamped = min(packet.priority, len(self.bands) - 1)
-        return len(self.bands) - 1 - clamped
+        last = self._last_band
+        clamped = min(packet.priority, last)
+        return last - clamped
 
     def push(self, packet: Packet) -> bool:
         """Enqueue into the packet's band; False on that band's overflow."""
-        return self.bands[self.band_for(packet)].push(packet)
+        last = self._last_band
+        priority = packet.priority
+        return self.bands[last - (priority if priority < last else last)].push(packet)
 
     def pop(self) -> Optional[Packet]:
         """Dequeue from the highest-priority non-empty band."""
         for band in self.bands:
-            packet = band.pop()
-            if packet is not None:
+            # Inlined ByteQueue.pop: this runs once per serialized
+            # packet and the empty-band probe is the common case.
+            items = band._items
+            if items:
+                packet = items.popleft()
+                band._bytes -= packet.wire_size
+                band.dequeued += 1
                 return packet
         return None
 

@@ -1,37 +1,72 @@
 """Discrete-event simulation engine.
 
-A minimal but complete event loop in the style of ns-2/htsim: events are
-``(time, sequence, callback)`` triples in a binary heap; ``sequence``
-breaks ties so same-time events run in schedule order, which keeps runs
-deterministic.  Everything in :mod:`repro.net` and :mod:`repro.transport`
-is driven by one :class:`Simulator`.
+A minimal but complete event loop in the style of ns-2/htsim.  Events
+are ``(time, sequence, ...)`` tuples ordered by ``(time, sequence)``;
+``sequence`` breaks ties so same-time events run in schedule order,
+which keeps runs deterministic.  Everything in :mod:`repro.net` and
+:mod:`repro.transport` is driven by one :class:`Simulator`.
+
+The scheduler is a **calendar queue** (Brown 1988), not a single binary
+heap: near-future events land in a ring of per-bucket heaps indexed by
+``int(time / bucket_width)``, and events beyond the ring's horizon wait
+in an overflow heap.  Pushes into the current bucket — the common case
+on the packet hot path, where a link schedules a delivery a few
+microseconds out — are O(log bucket) on a bucket holding only a few
+events, and the pop fast path is one tuple compare plus a ``heappop``
+on that same small bucket.  Ordering stays exact because the mapping
+``time -> int(time * inv_width)`` is monotone (equal times share a
+bucket, earlier buckets hold strictly earlier times) and because the
+pop path merges the overflow heap head into the current bucket whenever
+it would be due first, comparing full ``(time, sequence)`` tuples.
+
+Cancelled events are skipped lazily at pop; when more than half the
+queued entries are dead the structure compacts in place, so timer-heavy
+workloads (flap/blackout fault churn, transport RTO re-arming) keep
+bounded memory.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from heapq import heapify, heappop, heappush
+from typing import Callable, Iterable, Iterator, Optional, Tuple
 
 __all__ = ["Simulator", "Event"]
 
+#: Dead entries tolerated before cancellation triggers compaction.
+_COMPACT_MIN_DEAD = 64
 
-@dataclass(order=True)
+
 class Event:
     """One scheduled callback.  Ordered by (time, sequence).
 
-    The heap itself stores ``(time, sequence, event)`` tuples so heap
-    sifting compares plain floats/ints at C speed and never falls back
-    to this dataclass ``__lt__`` (kept for API compatibility).
+    The scheduler stores ``(time, sequence, event)`` tuples so ordering
+    compares plain floats/ints at C speed and never falls back to this
+    class's ``__lt__`` (kept for API compatibility).
     """
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    _scheduler: "Optional[Simulator]" = field(default=None, compare=False, repr=False)
-    _done: bool = field(default=False, compare=False, repr=False)
+    __slots__ = ("time", "sequence", "callback", "cancelled", "_scheduler", "_done")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[[], None],
+        _scheduler: "Optional[Simulator]" = None,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+        self._scheduler = _scheduler
+        self._done = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else ("done" if self._done else "pending")
+        return f"Event(time={self.time!r}, sequence={self.sequence}, {state})"
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when popped.
@@ -42,40 +77,88 @@ class Event:
         if self.cancelled or self._done:
             return
         self.cancelled = True
-        if self._scheduler is not None:
-            self._scheduler._live -= 1
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler._live -= 1
+            scheduler._dead += 1
+            # Lazy-cancel compaction: once dead entries outnumber live
+            # ones the structure is mostly garbage — rebuild it so heavy
+            # cancel churn (timer re-arming every packet) cannot grow
+            # the queue without bound.
+            if (
+                scheduler._dead > _COMPACT_MIN_DEAD
+                and scheduler._dead > scheduler._live
+            ):
+                scheduler._compact()
 
 
 class Simulator:
-    """A deterministic discrete-event scheduler.
+    """A deterministic discrete-event scheduler (calendar queue).
 
     Typical use::
 
         sim = Simulator()
         sim.schedule(1e-6, lambda: print("one microsecond in"))
         sim.run()
+
+    Args:
+        bucket_width: seconds of simulated time per calendar bucket.
+            The default (1 µs) keeps packet-scale events — serialization
+            times of ~1 µs on 10 Gb/s links — in the current or next
+            bucket.
+        num_buckets: ring size (rounded up to a power of two).  Events
+            beyond ``bucket_width * num_buckets`` in the future wait in
+            the overflow heap until the calendar advances.
     """
 
-    def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
+    def __init__(self, bucket_width: float = 1e-6, num_buckets: int = 1024) -> None:
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        nb = 1
+        while nb < num_buckets:
+            nb *= 2
+        self._inv = 1.0 / bucket_width
+        self._nb = nb
+        self._mask = nb - 1
+        self._buckets: list[list] = [[] for _ in range(nb)]
+        # Absolute (unwrapped) index of the bucket currently being
+        # drained; ``_curb`` aliases ``_buckets[_cur & _mask]``.
+        self._cur = 0
+        self._curb: list = self._buckets[0]
+        # Overflow heap for events past the ring horizon.
+        self._far: list = []
         self._sequence = itertools.count()
-        self._now = 0.0
+        #: Current simulation time in seconds.  A plain attribute (not a
+        #: property): hot callbacks read it once or more per packet.
+        self.now = 0.0
         self._processed = 0
         # Live (scheduled, not yet run or cancelled) event count, kept
         # in sync on push/pop/cancel so pending() is O(1) — transport
-        # timers poll it per packet, and an O(n) heap scan there turns
-        # the event loop quadratic.
+        # timers poll it per packet, and an O(n) scan there turns the
+        # event loop quadratic.
         self._live = 0
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
+        # Cancelled entries still occupying the structure.
+        self._dead = 0
 
     @property
     def events_processed(self) -> int:
         """Number of callbacks executed so far."""
         return self._processed
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _push(self, entry: tuple) -> None:
+        """File ``entry`` into the bucket owning its timestamp."""
+        idx = int(entry[0] * self._inv)
+        offset = idx - self._cur
+        if offset <= 0:
+            heappush(self._curb, entry)
+        elif offset < self._nb:
+            heappush(self._buckets[idx & self._mask], entry)
+        else:
+            heappush(self._far, entry)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Run ``callback`` ``delay`` seconds from now; returns a handle.
@@ -85,17 +168,125 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self._now + delay, next(self._sequence), callback, _scheduler=self)
-        heapq.heappush(self._heap, (event.time, event.sequence, event))
+        when = self.now + delay
+        event = Event(when, next(self._sequence), callback, self)
+        self._push((when, event.sequence, event))
         self._live += 1
         return event
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> Event:
         """Run ``callback`` at absolute time ``when``."""
-        return self.schedule(when - self._now, callback)
+        return self.schedule(when - self.now, callback)
+
+    def schedule_call(self, delay: float, fn: Callable, arg) -> None:
+        """Fire-and-forget: run ``fn(arg)`` ``delay`` seconds from now.
+
+        The hot-path sibling of :meth:`schedule`: no :class:`Event`
+        handle is created (so the call cannot be cancelled) and no
+        closure needs allocating — the argument rides in the heap entry
+        itself.  Links and switches use this for packet deliveries and
+        serializer completions; ordering shares the same ``(time,
+        sequence)`` stream, so mixing the two APIs stays deterministic.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        when = self.now + delay
+        entry = (when, next(self._sequence), fn, arg)
+        idx = int(when * self._inv)
+        offset = idx - self._cur
+        if offset <= 0:
+            heappush(self._curb, entry)
+        elif offset < self._nb:
+            heappush(self._buckets[idx & self._mask], entry)
+        else:
+            heappush(self._far, entry)
+        self._live += 1
+
+    def schedule_batch(self, items: Iterable[Tuple[float, Callable, object]]) -> None:
+        """Post many ``(delay, fn, arg)`` calls in one pass.
+
+        Equivalent to ``schedule_call`` per item (same sequence-number
+        stream, same ordering), but hoists the scheduler state lookups
+        out of the loop — a link posting a burst of N deliveries pays
+        for one method call, not N.
+        """
+        now = self.now
+        inv = self._inv
+        cur = self._cur
+        nb = self._nb
+        mask = self._mask
+        sequence = self._sequence
+        buckets = self._buckets
+        curb = self._curb
+        far = self._far
+        posted = 0
+        for delay, fn, arg in items:
+            if delay < 0:
+                raise ValueError(f"cannot schedule in the past (delay={delay})")
+            when = now + delay
+            entry = (when, next(sequence), fn, arg)
+            idx = int(when * inv)
+            offset = idx - cur
+            if offset <= 0:
+                heappush(curb, entry)
+            elif offset < nb:
+                heappush(buckets[idx & mask], entry)
+            else:
+                heappush(far, entry)
+            posted += 1
+        self._live += posted
+
+    # -- draining -----------------------------------------------------------
+
+    def _pop_slow(self) -> Optional[tuple]:
+        """Pop the globally minimal entry when the fast path cannot.
+
+        Handles the three non-trivial cases: the overflow head precedes
+        (or ties, by sequence, with) the current bucket head; the
+        current bucket is drained and the calendar must advance; the
+        queue is empty.
+        """
+        far = self._far
+        b = self._curb
+        inv = self._inv
+        while True:
+            if b:
+                if far and far[0] < b[0]:
+                    # The overflow head is due first (full tuple
+                    # compare, so same-time entries keep sequence
+                    # order): merge it and re-check.
+                    heappush(b, heappop(far))
+                    continue
+                return heappop(b)
+            if not far and self._live == 0 and self._dead == 0:
+                return None
+            if far and int(far[0][0] * inv) <= self._cur:
+                heappush(b, heappop(far))
+                continue
+            # Advance to the next non-empty bucket (or jump to the
+            # overflow head when the whole ring is idle).
+            cur = self._cur
+            buckets = self._buckets
+            mask = self._mask
+            nxt = None
+            for step in range(1, self._nb):
+                if buckets[(cur + step) & mask]:
+                    nxt = cur + step
+                    break
+            if far:
+                fidx = int(far[0][0] * inv)
+                if nxt is None or fidx < nxt:
+                    nxt = fidx
+            if nxt is None:
+                return None
+            self._cur = nxt
+            b = self._curb = buckets[nxt & mask]
+            # Pull overflow entries now due into the active bucket.
+            while far and int(far[0][0] * inv) <= nxt:
+                heappush(b, heappop(far))
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Drain the event heap.
+        """Drain the event calendar.
 
         Args:
             until: stop once simulated time would pass this instant
@@ -105,45 +296,216 @@ class Simulator:
         Returns:
             The simulation time when the run stopped.
         """
-        executed = 0
-        heap = self._heap
-        pop = heapq.heappop
-        while heap:
-            if max_events is not None and executed >= max_events:
-                break
-            when = heap[0][0]
-            if until is not None and when > until:
-                # Nothing left at or before the horizon (cancelled
-                # events past it are ≥ every live one, so stopping on a
-                # cancelled head is equally correct).
-                self._now = until
-                break
-            # Batched pop: drain every event at this instant (including
-            # zero-delay events the callbacks themselves schedule) in
-            # one pass over the heap top.
-            while heap and heap[0][0] == when:
-                if max_events is not None and executed >= max_events:
+        # Sentinels instead of per-iteration None checks: comparing
+        # against +inf costs one float compare on the hot path.  The
+        # current bucket and the processed counter live in locals while
+        # the loop spins (callbacks push into the same list object, and
+        # ``_curb`` is only rebound by ``_pop_slow``), which makes
+        # ``run`` non-reentrant: a callback must not call ``run`` or
+        # ``peek_time`` on its own simulator.
+        inf = float("inf")
+        limit = inf if until is None else until
+        budget = inf if max_events is None else max_events
+        # ``int(t * inv)`` is the bucket mapping used everywhere; with
+        # +inf it overflows, so an unlimited run gets a None sentinel.
+        inv = self._inv
+        limit_idx = None if limit == inf else int(limit * inv)
+        unbudgeted = max_events is None
+        far = self._far
+        b = self._curb
+        pop = heappop
+        tuplen = len
+        processed = 0
+        try:
+            while budget > 0:
+                if b and (not far or b[0] < far[0]):
+                    entry = pop(b)
+                else:
+                    entry = self._pop_slow()
+                    b = self._curb
+                    if entry is None:
+                        if until is not None and until > self.now:
+                            self.now = until
+                        break
+                when = entry[0]
+                if when > limit:
+                    # Past the horizon: put it back and stop.  (A cancelled
+                    # head past the horizon is ≥ every live entry, so
+                    # stopping on one is equally correct.)
+                    self._push(entry)
+                    self.now = until
                     break
-                event = pop(heap)[2]
-                if event.cancelled:
+                if tuplen(entry) == 4:
+                    self.now = when
+                    self._live -= 1
+                    entry[2](entry[3])
+                else:
+                    event = entry[2]
+                    if event.cancelled:
+                        self._dead -= 1
+                        continue
+                    self.now = when
+                    event._done = True
+                    self._live -= 1
+                    event.callback()
+                processed += 1
+                budget -= 1
+                # Bucket-grain fast path.  Every entry in the current
+                # bucket maps to index ``_cur`` exactly (pushes beyond
+                # the ring go to the overflow heap; merged overflow
+                # entries land in their own bucket), so two integer
+                # gates decide for the *whole bucket* what the loop
+                # above re-checks per event:
+                #  * the overflow head maps past ``_cur`` → nothing in
+                #    ``far`` can precede any in-bucket entry (same-time
+                #    overflow ties were merged by _pop_slow already, and
+                #    callbacks can only add entries beyond the horizon);
+                #  * the horizon maps past ``_cur`` → no in-bucket entry
+                #    can exceed ``limit`` (the mapping is monotone).
+                # When both hold (and no event budget needs counting
+                # down), drain the bucket with nothing but pop+dispatch.
+                if (
+                    not unbudgeted
+                    or (far and int(far[0][0] * inv) <= self._cur)
+                    or (limit_idx is not None and limit_idx <= self._cur)
+                ):
                     continue
-                self._now = when
-                event._done = True
-                self._live -= 1
-                event.callback()
-                self._processed += 1
-                executed += 1
-        else:
-            if until is not None:
-                self._now = max(self._now, until)
-        return self._now
+                while b:
+                    entry = pop(b)
+                    if tuplen(entry) == 4:
+                        when, _seq, fn, arg = entry
+                        self.now = when
+                        self._live -= 1
+                        fn(arg)
+                    else:
+                        event = entry[2]
+                        if event.cancelled:
+                            self._dead -= 1
+                            continue
+                        self.now = entry[0]
+                        event._done = True
+                        self._live -= 1
+                        event.callback()
+                    processed += 1
+        finally:
+            self._processed += processed
+        return self.now
+
+    def run_profiled(
+        self,
+        observer: Callable[[Callable, float, float], None],
+        clock: Callable[[], float],
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """:meth:`run`, timing every callback for an observer.
+
+        After each event executes, calls ``observer(callback, when,
+        wall_s)`` where ``wall_s`` is the callback's execution time as
+        measured by ``clock`` (injected — typically
+        ``time.perf_counter`` — so this module stays free of wall-clock
+        imports; the fabric itself must never read real time).  Events
+        run in exactly the order and at exactly the simulated times
+        :meth:`run` would use: profiling perturbs nothing modeled.
+        :class:`repro.obs.profile.SimProfiler` shadows ``sim.run`` with
+        a wrapper around this method, which is why hot paths are free
+        to cache bound ``schedule_call`` references — coverage does not
+        depend on intercepting the scheduling APIs.
+        """
+        inf = float("inf")
+        limit = inf if until is None else until
+        budget = inf if max_events is None else max_events
+        processed = 0
+        try:
+            while budget > 0:
+                far = self._far
+                b = self._curb
+                if b and (not far or b[0] < far[0]):
+                    entry = heappop(b)
+                else:
+                    entry = self._pop_slow()
+                    if entry is None:
+                        if until is not None and until > self.now:
+                            self.now = until
+                        break
+                when = entry[0]
+                if when > limit:
+                    self._push(entry)
+                    self.now = until
+                    break
+                if len(entry) == 4:
+                    fn = entry[2]
+                    self.now = when
+                    self._live -= 1
+                    start = clock()
+                    fn(entry[3])
+                    observer(fn, when, clock() - start)
+                else:
+                    event = entry[2]
+                    if event.cancelled:
+                        self._dead -= 1
+                        continue
+                    self.now = when
+                    event._done = True
+                    self._live -= 1
+                    callback = event.callback
+                    start = clock()
+                    callback()
+                    observer(callback, when, clock() - start)
+                processed += 1
+                budget -= 1
+        finally:
+            self._processed += processed
+        return self.now
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None when idle."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        far = self._far
+        while True:
+            b = self._curb
+            if b and (not far or b[0] < far[0]):
+                entry = heappop(b)
+            else:
+                entry = self._pop_slow()
+                if entry is None:
+                    return None
+            if len(entry) == 3 and entry[2].cancelled:
+                self._dead -= 1
+                continue
+            self._push(entry)
+            return entry[0]
 
     def pending(self) -> int:
         """Number of live events still queued (O(1) — see ``_live``)."""
         return self._live
+
+    # -- maintenance --------------------------------------------------------
+
+    def _entries(self) -> Iterator[tuple]:
+        """Every queued entry (live and dead), in no particular order."""
+        for bucket in self._buckets:
+            yield from bucket
+        yield from self._far
+
+    def _compact(self) -> None:
+        """Rebuild every bucket without its cancelled entries.
+
+        Called from :meth:`Event.cancel` once dead entries exceed half
+        the structure; O(total entries), amortized O(1) per cancel.
+        """
+        removed = 0
+        for bucket in self._buckets:
+            if not bucket:
+                continue
+            kept = [e for e in bucket if len(e) == 4 or not e[2].cancelled]
+            if len(kept) != len(bucket):
+                removed += len(bucket) - len(kept)
+                bucket[:] = kept
+                heapify(bucket)
+        far = self._far
+        kept = [e for e in far if len(e) == 4 or not e[2].cancelled]
+        if len(kept) != len(far):
+            removed += len(far) - len(kept)
+            far[:] = kept
+            heapify(far)
+        self._dead -= removed

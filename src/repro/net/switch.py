@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Callable, Dict, Optional, Tuple
 
 from ..obs.int_telemetry import (
@@ -28,6 +29,8 @@ from ..obs.int_telemetry import (
 )
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
+from ..obs import trace as _obs_trace
+from ..packet import arena as _arena
 from ..packet.packet import Packet
 from ..packet.trim import NeverTrim, TrimPolicy
 from .link import Device, Link
@@ -124,10 +127,17 @@ class Switch(Device):
         # Network.build_routes(ecmp=True, ecmp_seed=...) via the shared
         # "ecmp" PRNG purpose; 0 keeps the legacy unseeded placement.
         self.ecmp_salt = 0
-        # (src, dst, flow_id) -> (next hop, path index).  Per-flow state,
-        # like a real switch's flow table: the 5-tuple hash runs once per
-        # flow, not per packet, and the cached index feeds INT aux.
-        self._ecmp_cache: Dict[Tuple[str, str, int], Tuple[str, int]] = {}
+        # (src, dst, flow_id) -> (next hop, path index, egress link).
+        # Per-flow state, like a real switch's flow table: the 5-tuple
+        # hash runs once per flow, not per packet, the cached index
+        # feeds INT aux, and the resolved Link rides along so the
+        # forwarding path skips the ports lookup.
+        self._ecmp_cache: Dict[Tuple[str, str, int], Tuple[str, int, Link]] = {}
+        # True while ``forward`` is the plain class method.  PacketTracer
+        # clears this when it wraps ``forward`` as an instance attribute,
+        # so the fused fast path below can gate on one attribute load
+        # instead of probing ``self.__dict__`` per packet.
+        self._forward_plain = True
         # Port -> number of distinct ECMP flows hashed onto it (collision
         # accounting for the fairness reports).
         self._ecmp_load: Dict[str, int] = {}
@@ -159,6 +169,13 @@ class Switch(Device):
             "new flows hashed onto an equal-cost port already carrying flows",
             ("switch",),
         ).bind(switch=name)
+        # The per-packet forwarded twin is deferred: the forwarding path
+        # keeps stats.forwarded and the registry pulls it on read.
+        registry.add_flush_hook(self._flush_metrics)
+
+    def _flush_metrics(self) -> None:
+        """Publish deferred per-packet counters into the registry."""
+        self._m_forwarded.set(self.stats.forwarded)
 
     # -- wiring -------------------------------------------------------------
 
@@ -240,7 +257,7 @@ class Switch(Device):
         index = x % len(hops)
         return hops[index], index + 1
 
-    def _pick_ecmp(self, packet: Packet) -> Optional[Tuple[str, int]]:
+    def _pick_ecmp(self, packet: Packet) -> Optional[Tuple[str, int, Link]]:
         """:meth:`route_lookup` plus the per-flow cache and accounting.
 
         The hash runs once per flow, like a real switch's flow table;
@@ -252,30 +269,112 @@ class Switch(Device):
         if cached is not None:
             return cached
         resolved = self.route_lookup(packet.src, packet.dst, packet.flow_id)
-        if resolved is None or resolved[1] == 0:
-            return resolved  # single-path routes skip the flow table
-        hop = resolved[0]
-        self._ecmp_cache[key] = resolved
+        if resolved is None:
+            return None
+        hop, aux = resolved
+        entry = (hop, aux, self.ports[hop])
+        if aux == 0:
+            return entry  # single-path routes skip the flow table
+        self._ecmp_cache[key] = entry
         carried = self._ecmp_load.get(hop, 0)
         self.stats.ecmp_flows += 1
         if carried:
             self.stats.ecmp_collisions += 1
             self._m_ecmp_collisions.inc()
         self._ecmp_load[hop] = carried + 1
-        return resolved
+        return entry
 
     # -- forwarding -----------------------------------------------------------
 
     def receive(self, packet: Packet, ingress: Optional[Link] = None) -> None:
-        hop_and_index = self._pick_ecmp(packet)
-        if hop_and_index is None:
-            self._drop(packet, "no-route")
-            return
-        next_hop, ecmp_aux = hop_and_index
-        if next_hop in self.ports_down:
+        # Flow-table hit first: per packet this is one dict probe; the
+        # full _pick_ecmp resolution only runs on a miss.  Single-path
+        # routes skip _pick_ecmp's flow accounting but still cache here
+        # so repeat packets of the flow take the one-probe path.
+        key = (packet.src, packet.dst, packet.flow_id)
+        cached = self._ecmp_cache.get(key)
+        if cached is None:
+            cached = self._pick_ecmp(packet)
+            if cached is None:
+                self._drop(packet, "no-route")
+                return
+            if cached[1] == 0:
+                self._ecmp_cache[key] = cached
+        next_hop, ecmp_aux, link = cached
+        if self.ports_down and next_hop in self.ports_down:
             self._drop(packet, "port-blackout")
             return
-        self.forward(packet, self.ports[next_hop], ecmp_aux=ecmp_aux)
+        # Fused fast path: replicate forward -> enqueue -> push inline
+        # for the common case (no INT band to stamp, forward not wrapped
+        # by a PacketTracer).  Counter and ECN side effects are exactly
+        # ByteQueue.push's; any overflow falls back to the full method.
+        if packet.int_ext is None and self._forward_plain:
+            queue = link.queue
+            bands = queue.bands
+            last = queue._last_band
+            priority = packet.priority
+            band = bands[last - (priority if priority < last else last)]
+            wire = packet.wire_size
+            new_bytes = band._bytes + wire
+            if new_bytes <= band.capacity_bytes:
+                threshold = band.ecn_threshold_bytes
+                if threshold is not None and new_bytes > threshold:
+                    packet.ecn = True
+                    band.ecn_marked += 1
+                if (
+                    not link._busy
+                    and link.burst == 1
+                    and not band._items
+                    and (band is bands[0] or not bands[0]._items)
+                ):
+                    # Idle serializer, empty queue: the push/pop pair is
+                    # a pass-through, so hand the packet straight to the
+                    # serializer.  Counters still see the enqueue and
+                    # the immediate dequeue; occupancy is untouched.
+                    band.enqueued += 1
+                    band.dequeued += 1
+                    if new_bytes > band.peak_bytes:
+                        band.peak_bytes = new_bytes
+                    link._busy = True
+                    # Inlined Simulator.schedule_call (same entry tuple,
+                    # same sequence stream, same bucket placement — keep
+                    # in sync with simulator.py): the serializer-finish
+                    # post runs once per forwarded packet.
+                    sim = self.sim
+                    when = sim.now + wire * 8.0 / link.rate_bps
+                    entry = (when, next(sim._sequence), link._finish_cb, packet)
+                    idx = int(when * sim._inv)
+                    offset = idx - sim._cur
+                    if offset <= 0:
+                        heappush(sim._curb, entry)
+                    elif offset < sim._nb:
+                        heappush(sim._buckets[idx & sim._mask], entry)
+                    else:
+                        heappush(sim._far, entry)
+                    sim._live += 1
+                else:
+                    band._items.append(packet)
+                    band._bytes = new_bytes
+                    band.enqueued += 1
+                    if new_bytes > band.peak_bytes:
+                        band.peak_bytes = new_bytes
+                    if not link._busy:
+                        link._try_transmit()
+                self.stats.forwarded += 1
+                tracer = _obs_trace._TRACER
+                if tracer.enabled:
+                    tracer.event(
+                        "switch.forward",
+                        sim_time=self.sim.now,
+                        switch=self.name,
+                        dst=packet.dst,
+                        flow_id=packet.flow_id,
+                        seq=packet.seq,
+                        bytes=wire,
+                        queue_bytes=queue.bytes_queued,
+                    )
+                return
+        self.forward(packet, link, ecmp_aux=ecmp_aux)
 
     def _drop(self, packet: Packet, kind: str) -> None:
         if packet.int_ext is not None:
@@ -303,6 +402,10 @@ class Switch(Device):
                 seq=packet.seq,
                 bytes=packet.wire_size,
             )
+        # The switch is a sink for whatever it drops: recycle pooled
+        # transient packets (crosstraffic filler, controls); message
+        # packets stay with their retaining sender.
+        _arena._ARENA.release_transient(packet)
 
     def forward(self, packet: Packet, link: Link, ecmp_aux: int = 0) -> None:
         """Enqueue on ``link``, trimming or dropping on overflow.
@@ -312,9 +415,30 @@ class Switch(Device):
         show which leg of an ECMP group the packet rode.
         """
         queue: PriorityQueue = link.queue  # type: ignore[assignment]
-        fill_before = queue.data_band().fill
-        if link.enqueue(packet):
-            if packet.int_ext is not None:
+        if packet.int_ext is None:
+            # Hot path: no INT band to stamp, so the pre-push fill is
+            # only needed if the push is rejected — and a rejected push
+            # leaves the band's occupancy untouched, so computing it
+            # after the attempt reads the same value.
+            if link.enqueue(packet):
+                self.stats.forwarded += 1
+                tracer = _obs_trace._TRACER
+                if tracer.enabled:
+                    tracer.event(
+                        "switch.forward",
+                        sim_time=self.sim.now,
+                        switch=self.name,
+                        dst=packet.dst,
+                        flow_id=packet.flow_id,
+                        seq=packet.seq,
+                        bytes=packet.wire_size,
+                        queue_bytes=queue.bytes_queued,
+                    )
+                return
+            fill_before = queue.data_band().fill
+        else:
+            fill_before = queue.data_band().fill
+            if link.enqueue(packet):
                 packet.int_ext.stamp(
                     self._int_hop,
                     DECISION_FORWARD,
@@ -324,21 +448,20 @@ class Switch(Device):
                     fill_permille=int(fill_before * 1000),
                     aux=ecmp_aux,
                 )
-            self.stats.forwarded += 1
-            self._m_forwarded.inc()
-            tracer = get_tracer()
-            if tracer.enabled:
-                tracer.event(
-                    "switch.forward",
-                    sim_time=self.sim.now,
-                    switch=self.name,
-                    dst=packet.dst,
-                    flow_id=packet.flow_id,
-                    seq=packet.seq,
-                    bytes=packet.wire_size,
-                    queue_bytes=queue.bytes_queued,
-                )
-            return
+                self.stats.forwarded += 1
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "switch.forward",
+                        sim_time=self.sim.now,
+                        switch=self.name,
+                        dst=packet.dst,
+                        flow_id=packet.flow_id,
+                        seq=packet.seq,
+                        bytes=packet.wire_size,
+                        queue_bytes=queue.bytes_queued,
+                    )
+                return
         # Overflow.  Express-band packets (already tiny) are just dropped;
         # data packets go through the trim policy.
         if queue.band_for(packet) != len(queue.bands) - 1:
@@ -388,6 +511,9 @@ class Switch(Device):
                     remnant_bytes=remnant.wire_size,
                     fill_before=fill_before,
                 )
+            # The un-pooled remnant twin replaced the original on the
+            # wire; a transient original (filler/control) is now dead.
+            _arena._ARENA.release_transient(packet)
         else:
             self._drop(packet, "header-band-overflow")
 

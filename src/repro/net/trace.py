@@ -112,6 +112,10 @@ class PacketTracer:
                 self._record("drop", switch.name, packet)
 
         switch.forward = forward  # type: ignore[method-assign]
+        # Tell the fused fast path its inline forward is now observed:
+        # Switch.receive falls back to calling ``forward`` (this wrapper)
+        # whenever the flag is cleared.
+        switch._forward_plain = False
 
     # -- queries ----------------------------------------------------------------
 

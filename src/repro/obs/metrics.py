@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import math
 import os
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+import weakref
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
@@ -73,6 +74,7 @@ class Metric:
 
     def series(self) -> List[Tuple[Tuple[str, ...], object]]:
         """(label-values, value) pairs in sorted label order."""
+        self._registry.flush()
         return sorted(self._series.items())
 
     def labels_of(self, key: Tuple[str, ...]) -> Dict[str, str]:
@@ -85,28 +87,33 @@ class Metric:
 class _BoundScalar:
     """A (metric, label-key) pair pre-resolved for hot paths."""
 
-    __slots__ = ("_metric", "_key")
+    __slots__ = ("_metric", "_key", "_registry", "_series")
 
     def __init__(self, metric: Metric, key: Tuple[str, ...]) -> None:
         self._metric = metric
         self._key = key
+        # Aliased here because inc() runs per packet: the registry object
+        # persists for the metric's lifetime and Metric.clear() empties
+        # the series dict in place, so both references stay valid.
+        self._registry = metric._registry
+        self._series = metric._series
 
     def inc(self, amount: float = 1.0) -> None:
-        metric = self._metric
-        if not metric._registry.enabled:
+        if not self._registry.enabled:
             return
-        series = metric._series
-        series[self._key] = series.get(self._key, 0.0) + amount
+        series = self._series
+        key = self._key
+        series[key] = series.get(key, 0.0) + amount
 
     def set(self, value: float) -> None:
-        metric = self._metric
-        if not metric._registry.enabled:
+        if not self._registry.enabled:
             return
-        metric._series[self._key] = float(value)
+        self._series[self._key] = float(value)
 
     @property
     def value(self) -> float:
-        return float(self._metric._series.get(self._key, 0.0))
+        self._registry.flush()
+        return float(self._series.get(self._key, 0.0))
 
 
 class Counter(Metric):
@@ -123,10 +130,12 @@ class Counter(Metric):
         self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels: object) -> float:
+        self._registry.flush()
         return float(self._series.get(self._key(labels), 0.0))
 
     def total(self) -> float:
         """Sum across every label combination."""
+        self._registry.flush()
         return float(sum(self._series.values()))
 
     def bind(self, **labels: object) -> _BoundScalar:
@@ -154,6 +163,7 @@ class Gauge(Metric):
         self.inc(-amount, **labels)
 
     def value(self, **labels: object) -> float:
+        self._registry.flush()
         return float(self._series.get(self._key(labels), 0.0))
 
     def bind(self, **labels: object) -> _BoundScalar:
@@ -294,6 +304,9 @@ class MetricsRegistry:
             enabled = os.environ.get("REPRO_OBS_METRICS", "1") != "0"
         self.enabled = enabled
         self._metrics: Dict[str, Metric] = {}
+        # Deferred hot-path counters (see add_flush_hook).
+        self._flush_hooks: List[object] = []
+        self._flushing = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -307,6 +320,42 @@ class MetricsRegistry:
         """Zero every series; metric families stay registered."""
         for metric in self._metrics.values():
             metric.clear()
+
+    # -- deferred counters --------------------------------------------------
+
+    def add_flush_hook(self, fn: Callable[[], None]) -> None:
+        """Register a hook that publishes deferred counters on read.
+
+        Per-packet call sites (link serializers, switch forwarding) keep
+        plain integer attributes on their own objects and publish them
+        into the registry only when something *reads* it — every read
+        API calls :meth:`flush` first, so observers still see exact
+        values.  Hooks must be idempotent (``set``, not ``inc``).  Bound
+        methods are held weakly: a dead owner silently unregisters, so
+        the process-wide registry never pins networks alive.
+        """
+        if hasattr(fn, "__self__"):
+            self._flush_hooks.append(weakref.WeakMethod(fn))
+        else:
+            self._flush_hooks.append(weakref.ref(fn))
+
+    def flush(self) -> None:
+        """Run every live flush hook (reentrancy-safe, prunes dead)."""
+        if self._flushing or not self._flush_hooks:
+            return
+        self._flushing = True
+        try:
+            dead = False
+            for ref in self._flush_hooks:
+                fn = ref()
+                if fn is None:
+                    dead = True
+                else:
+                    fn()
+            if dead:
+                self._flush_hooks = [r for r in self._flush_hooks if r() is not None]
+        finally:
+            self._flushing = False
 
     # -- registration -------------------------------------------------------
 

@@ -1,7 +1,8 @@
 """Event-loop profiler: where do a simulation's modeled and wall time go?
 
-:class:`SimProfiler` wraps a :class:`~repro.net.simulator.Simulator`'s
-``schedule`` so every callback is timed as it executes:
+:class:`SimProfiler` shadows a :class:`~repro.net.simulator.Simulator`'s
+``run`` with :meth:`~repro.net.simulator.Simulator.run_profiled`, which
+times every callback as the event loop dispatches it:
 
 * **wall time** (``time.perf_counter``) — the real CPU cost of running
   that callback, attributed to the pipeline stage the callback belongs
@@ -10,12 +11,17 @@
   previous one, attributed to the stage that consumed it (the stage
   whose event the simulation was waiting on).
 
-Stages are classified from the callback's defining module, so the
-instrumentation needs no cooperation from the instrumented code.  This
-module lives in ``repro.obs`` (not ``repro.net``) deliberately: the
-wall-clock-in-sim lint rule bans ``perf_counter`` inside the simulated
-fabric, and the profiler is exactly the observer that rule protects the
-fabric from becoming.
+Timing at the dispatch level (rather than wrapping the scheduling APIs)
+means every event is covered no matter how it was posted — ``schedule``
+closures, fire-and-forget ``schedule_call`` tuples, and ``schedule_batch``
+bursts alike — and the fabric's hot paths stay free to cache bound
+scheduler methods.  Stages are classified from the callback's defining
+module, so the instrumentation needs no cooperation from the
+instrumented code.  This module lives in ``repro.obs`` (not
+``repro.net``) deliberately: the wall-clock-in-sim lint rule bans
+``perf_counter`` inside the simulated fabric, and the profiler is
+exactly the observer that rule protects the fabric from becoming —
+``run_profiled`` takes the clock as an argument for the same reason.
 
 Profiling perturbs nothing modeled: callbacks run unchanged, in the
 same order, at the same simulated times — only their execution is
@@ -28,7 +34,7 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - avoids obs -> net import cycle
-    from ..net.simulator import Event, Simulator
+    from ..net.simulator import Simulator
 
 __all__ = ["StageProfile", "SimProfiler"]
 
@@ -38,6 +44,7 @@ _STAGE_RULES = (
     ("repro.net.switch", "switch"),
     ("repro.net.link", "link"),
     ("repro.net.queues", "link"),
+    ("repro.net.crosstraffic", "tenants"),
     ("repro.net.telemetry", "telemetry"),
     ("repro.net.host", "transport"),
     ("repro.transport", "transport"),
@@ -93,49 +100,49 @@ class SimProfiler:
         self.events_profiled = 0
         self._last_now: Optional[float] = None
         self._installed_on: Optional[Simulator] = None
-        self._original: Optional[Callable[[float, Callable[[], None]], Event]] = None
+        # callback __module__ -> stage, so the rule scan runs once per
+        # distinct module instead of once per event.
+        self._stage_cache: Dict[str, str] = {}
 
     def install(self, sim: Simulator) -> None:
-        """Shadow ``sim.schedule`` with the timing wrapper."""
+        """Shadow ``sim.run`` with the timing dispatch loop."""
         if self._installed_on is not None:
             raise RuntimeError("profiler is already installed")
-        original = sim.schedule
         profiler = self
 
-        def schedule(delay: float, callback: Callable[[], None]) -> Event:
-            stage = _classify(callback)
-
-            def timed() -> None:
-                now = sim.now
-                if profiler._last_now is not None and now > profiler._last_now:
-                    profiler._profile(stage).modeled_s += now - profiler._last_now
-                profiler._last_now = now
-                start = perf_counter()
-                try:
-                    callback()
-                finally:
-                    profile = profiler._profile(stage)
-                    profile.wall_s += perf_counter() - start
-                    profile.events += 1
-                    profiler.events_profiled += 1
-
-            return original(delay, timed)
+        def run(
+            until: Optional[float] = None, max_events: Optional[int] = None
+        ) -> float:
+            return sim.run_profiled(
+                profiler._observe, perf_counter, until=until, max_events=max_events
+            )
 
         # Instance attribute shadows the bound method; uninstall removes it.
-        sim.schedule = schedule  # type: ignore[method-assign]
+        sim.run = run  # type: ignore[method-assign]
         self._installed_on = sim
-        self._original = original
         self._last_now = sim.now
 
     def uninstall(self, sim: Simulator) -> None:
-        """Restore ``sim.schedule``; already-wrapped pending events still
-        profile when they fire."""
+        """Restore ``sim.run``."""
         if self._installed_on is not sim:
             raise RuntimeError("profiler is not installed on this simulator")
-        if "schedule" in sim.__dict__:
-            del sim.__dict__["schedule"]
+        if "run" in sim.__dict__:
+            del sim.__dict__["run"]
         self._installed_on = None
-        self._original = None
+
+    def _observe(self, callback: Callable, now: float, wall_s: float) -> None:
+        """Credit one executed event to its stage (run_profiled hook)."""
+        module = getattr(callback, "__module__", "") or ""
+        stage = self._stage_cache.get(module)
+        if stage is None:
+            stage = self._stage_cache[module] = _classify(callback)
+        profile = self._profile(stage)
+        if self._last_now is not None and now > self._last_now:
+            profile.modeled_s += now - self._last_now
+        self._last_now = now
+        profile.wall_s += wall_s
+        profile.events += 1
+        self.events_profiled += 1
 
     def _profile(self, stage: str) -> StageProfile:
         profile = self.profiles.get(stage)

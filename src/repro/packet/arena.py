@@ -1,0 +1,252 @@
+"""Arena-style packet pool: explicit acquire/release, no per-packet GC.
+
+The cluster-scale hot path creates and discards one :class:`Packet`
+object per datagram — crosstraffic filler, ACKs, retransmit clones —
+and at hundreds of thousands of events per second the allocator churn
+shows up directly in events/s.  The arena recycles dead packet objects
+instead: ``acquire`` re-initializes a previously released object
+(drawing a **fresh id from the same global stream**, so traces are
+byte-identical with pooling on or off) and falls back to a normal
+construction when the freelist is empty.
+
+Ownership protocol (see docs/performance.md, "Simulator fast path"):
+
+* ``KIND_TRANSIENT`` — the network owns the packet outright once it is
+  sent (crosstraffic filler, control/ACK packets).  Sinks that prove a
+  transient packet dead — a host with no handler for it, a switch drop,
+  a link that lost it — call :meth:`PacketArena.release_transient`.
+* ``KIND_MESSAGE`` — packets built by ``packetize`` and retained by a
+  transport sender for retransmission.  **Network sinks must never
+  release these** (``release_transient`` refuses); the single release
+  point is the channel/driver that owns the transfer, after decode,
+  via :meth:`release_all`.
+* ``dataclasses.replace`` twins (trim remnants, retransmit clones,
+  corrupted fault copies) start un-pooled — ``Packet._pool`` is an
+  ``init=False`` field — so aliasing can never free a live object.
+* A packet handed to a fault-injection ``delivery_hook`` is detached
+  from its pool first (duplication delivers the *same object* twice).
+
+Missed releases are deliberately harmless: an un-released pooled packet
+is simply garbage-collected like any other object — the arena is an
+optimization, never a correctness dependency.  ``REPRO_PACKET_ARENA=0``
+(or :func:`set_arena_enabled`) turns pooling off entirely for A/B
+byte-identity checks.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional
+
+from .header import WIRE_HEADER_BYTES
+from .packet import Packet, _packet_ids
+
+__all__ = [
+    "KIND_TRANSIENT",
+    "KIND_MESSAGE",
+    "PacketArena",
+    "get_arena",
+    "set_arena",
+    "arena_enabled",
+    "set_arena_enabled",
+]
+
+#: The network owns the packet; sinks may release it on drop/delivery.
+KIND_TRANSIENT = 0
+#: A transport sender retains the packet; only the transfer owner releases.
+KIND_MESSAGE = 1
+
+
+class PacketArena:
+    """A bounded freelist of recyclable :class:`Packet` objects.
+
+    Args:
+        capacity: freelist bound; releases beyond it fall through to the
+            garbage collector (bounded memory under bursty churn).
+        debug: poison released packets (empty payload, sentinel fields)
+            so use-after-release reads fail loudly in tests.
+    """
+
+    def __init__(self, capacity: int = 8192, debug: bool = False) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.debug = debug
+        self._free: List[Packet] = []
+        # Stats (plain attributes: the acquire path is hot).
+        self.acquired = 0
+        self.reused = 0
+        self.released = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(self, kind: int = KIND_TRANSIENT, **fields) -> Packet:
+        """A fresh-looking packet: recycled when possible, new otherwise.
+
+        ``fields`` are exactly the :class:`Packet` constructor fields.
+        The returned packet always carries a newly drawn ``packet_id``
+        (same global counter as direct construction) and a reset INT
+        band/checksum — indistinguishable from ``Packet(**fields)``.
+        """
+        self.acquired += 1
+        free = self._free
+        if free and _ENABLED:
+            packet = free.pop()
+            self.reused += 1
+            # Re-run the generated __init__: resets every field
+            # (including the init=False pool markers) and re-derives
+            # wire_size; packet_id default_factory draws the next id.
+            Packet.__init__(packet, **fields)
+        else:
+            packet = Packet(**fields)
+        if _ENABLED:
+            packet._pool = self
+            packet._pool_kind = kind
+        return packet
+
+    def acquire_filler(
+        self, src: str, dst: str, payload: bytes, flow_id: int
+    ) -> Packet:
+        """Positional fast path for transient filler traffic.
+
+        Exactly ``acquire(src=..., dst=..., payload=..., flow_id=...)``
+        — every other field at its :class:`Packet` default, a fresh
+        ``packet_id`` from the global stream, ``wire_size`` re-derived —
+        but the recycled case assigns slots directly instead of paying
+        the keyword-argument re-``__init__``.  Traffic generators emit
+        one such packet per datagram, which makes this the arena's
+        hottest entry point.  A property test pins field-for-field
+        equivalence with plain construction.
+        """
+        self.acquired += 1
+        free = self._free
+        if free and _ENABLED:
+            packet = free.pop()
+            self.reused += 1
+            packet.src = src
+            packet.dst = dst
+            packet.payload = payload
+            packet.grad_header = None
+            packet.priority = 0
+            packet.flow_id = flow_id
+            packet.seq = 0
+            packet.seq_total = 0
+            packet.is_ack = False
+            packet.nack = False
+            packet.pull = False
+            packet.trimmed_echo = False
+            packet.ecn = False
+            packet.created_at = 0.0
+            packet.packet_id = next(_packet_ids)
+            packet.trimmed_from = None
+            packet.checksum = None
+            packet.int_ext = None
+            packet.wire_size = WIRE_HEADER_BYTES + len(payload)
+            packet._pool = self
+            packet._pool_kind = KIND_TRANSIENT
+            packet._pool_free = False
+            return packet
+        packet = Packet(src=src, dst=dst, payload=payload, flow_id=flow_id)
+        if _ENABLED:
+            packet._pool = self
+            packet._pool_kind = KIND_TRANSIENT
+        return packet
+
+    def release(self, packet: Packet) -> bool:
+        """Return ``packet`` to the freelist; True when it was pooled.
+
+        Raises on double release — releasing twice means two owners
+        believed they held the last reference, which is exactly the
+        aliasing bug the ownership rules exist to prevent.  Un-pooled
+        packets are ignored (False): sinks can release unconditionally.
+        """
+        if packet._pool is not self:
+            return False
+        if packet._pool_free:
+            raise RuntimeError(
+                f"packet {packet.packet_id} released twice (flow "
+                f"{packet.flow_id}, seq {packet.seq})"
+            )
+        packet._pool_free = True
+        self.released += 1
+        if len(self._free) >= self.capacity:
+            packet._pool = None  # overflow: let the GC have it
+            self.dropped += 1
+            return True
+        if self.debug:
+            # Poison: any later read of the payload or addressing sees
+            # unmistakable garbage instead of stale-but-plausible data.
+            packet.payload = b""
+            packet.src = "<released>"
+            packet.dst = "<released>"
+            packet.wire_size = 0
+        self._free.append(packet)
+        return True
+
+    def release_transient(self, packet: Packet) -> bool:
+        """Sink-side release: only transient-kind pooled packets.
+
+        Network sinks (switch drops, link losses, handler-less hosts)
+        call this unconditionally; message-kind packets — still retained
+        by their sender for retransmission — pass through untouched.
+        """
+        if packet._pool is self and packet._pool_kind == KIND_TRANSIENT:
+            return self.release(packet)
+        return False
+
+    def release_all(self, packets: Iterable[Optional[Packet]]) -> int:
+        """Transfer-owner release: every pooled packet, any kind.
+
+        Deduplicates by object identity (a delivered wire list and the
+        sender's retransmit list overlap), skips ``None`` and un-pooled
+        entries, and returns the number actually recycled.  Only call
+        this when the owning transfer is over and its network will never
+        run again.
+        """
+        seen: set = set()
+        count = 0
+        for packet in packets:
+            if packet is None or id(packet) in seen:
+                continue
+            seen.add(id(packet))
+            if packet._pool is self and not packet._pool_free:
+                self.release(packet)
+                count += 1
+        return count
+
+
+_ENABLED = os.environ.get("REPRO_PACKET_ARENA", "1") != "0"
+_ARENA = PacketArena()
+
+
+def get_arena() -> PacketArena:
+    """The process-wide default arena."""
+    return _ARENA
+
+
+def set_arena(arena: PacketArena) -> PacketArena:
+    """Install ``arena`` as the default; returns the previous one."""
+    global _ARENA
+    previous = _ARENA
+    _ARENA = arena
+    return previous
+
+
+def arena_enabled() -> bool:
+    """Whether acquire() attaches packets to a pool at all."""
+    return _ENABLED
+
+
+def set_arena_enabled(enabled: bool) -> bool:
+    """Toggle pooling process-wide; returns the previous setting.
+
+    With pooling off, :meth:`PacketArena.acquire` degrades to plain
+    ``Packet(**fields)`` and every release becomes a no-op — the A/B
+    switch the byte-identity property tests flip.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = enabled
+    return previous

@@ -26,7 +26,7 @@ MAX_MTU_BYTES = 9000
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One datagram in flight.
 
@@ -90,14 +90,31 @@ class Packet:
     trimmed_from: Optional[int] = None
     checksum: Optional[int] = None
     int_ext: Optional[INTExtension] = None
+    #: Total bytes this packet occupies on a link / in a queue.  Cached
+    #: at construction (queues and links read it several times per hop);
+    #: the payload and INT band are fixed-size once built, so the cache
+    #: only goes stale on direct payload surgery — call
+    #: :meth:`recompute_wire_size` after mutating ``payload`` in place.
+    wire_size: int = field(init=False, compare=False, repr=False, default=0)
+    # Arena bookkeeping (see repro.packet.arena).  Deliberately
+    # init=False: ``dataclasses.replace`` twins — trimmed remnants,
+    # retransmit clones, corrupted fault copies — start un-pooled, so a
+    # release of the original can never free an object something else
+    # still aliases.
+    _pool: Optional[object] = field(init=False, compare=False, repr=False, default=None)
+    _pool_kind: int = field(init=False, compare=False, repr=False, default=0)
+    _pool_free: bool = field(init=False, compare=False, repr=False, default=False)
 
-    @property
-    def wire_size(self) -> int:
-        """Total bytes this packet occupies on a link / in a queue."""
+    def __post_init__(self) -> None:
         size = WIRE_HEADER_BYTES + len(self.payload)
         if self.int_ext is not None:
             size += self.int_ext.wire_bytes
-        return size
+        self.wire_size = size
+
+    def recompute_wire_size(self) -> int:
+        """Refresh the cached ``wire_size`` after in-place payload surgery."""
+        self.__post_init__()
+        return self.wire_size
 
     @property
     def is_trimmed(self) -> bool:

@@ -24,6 +24,7 @@ from ..collectives.channel import GradientChannel
 from ..core.codec import GradientCodec, nmse
 from ..core.packetizer import decode_packets, packetize
 from ..net.topology import Network
+from ..packet import arena as _arena
 from ..obs.spans import get_span_tracer
 from ..obs.trace import get_tracer
 from ..transport.base import TransportSurrender
@@ -147,12 +148,16 @@ class NetworkChannel(GradientChannel):
             if surrendered:
                 st.end(span, t=net.sim.now, outcome="surrendered")
                 if self.degraded_step:
+                    # Degraded step: this network never runs again, so
+                    # the transfer owner recycles its message packets.
+                    _arena._ARENA.release_all(packets)
                     return self._degrade(
                         flat, surrendered[0].reason, epoch, message_id, worker
                     )
                 raise surrendered[0]
             st.end(span, t=net.sim.now, outcome="deadline")
             if self.degraded_step:
+                _arena._ARENA.release_all(packets)
                 return self._degrade(flat, "deadline", epoch, message_id, worker)
             raise RuntimeError(
                 f"gradient transfer (epoch {epoch}, message {message_id}, "
@@ -188,6 +193,12 @@ class NetworkChannel(GradientChannel):
                 trim_fraction=self.last_trim_fraction,
                 nmse=float(nmse(flat, decoded)),
             )
+        # Transfer decoded and accounted: the channel owns the transfer,
+        # so every message packet goes back to the arena.  The sender's
+        # retransmit list and the delivered wire list overlap (trim
+        # remnants are un-pooled twins) — release_all dedups by identity.
+        _arena._ARENA.release_all(packets)
+        _arena._ARENA.release_all(wire)
         return decoded
 
     @property

@@ -20,6 +20,7 @@ from typing import Any, Callable, List, Optional
 from ..net.host import Host
 from ..obs.int_telemetry import get_int_collector
 from ..obs.metrics import get_registry
+from ..packet import arena as _arena
 from ..packet.packet import Packet
 from .base import MessageSenderBase
 
@@ -178,7 +179,9 @@ class GoBackNReceiver:
     def _send_cumulative_ack(self, ecn: bool) -> None:
         if self._peer is None:
             return
-        ack = Packet(
+        # Transient-kind: once the sender processes this ACK it is dead,
+        # and MessageSenderBase._dispatch recycles it.
+        ack = _arena._ARENA.acquire(
             src=self.host.name,
             dst=self._peer,
             is_ack=True,

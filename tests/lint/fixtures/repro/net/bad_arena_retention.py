@@ -1,0 +1,17 @@
+"""Fixture: a network sink retaining arena-acquired packets."""
+
+
+class LeakySink:
+    def __init__(self, sim, pool):
+        self.sim = sim
+        self.pool = pool
+        self.stash = []
+        self.last = None
+
+    def emit(self, src, dst, payload, flow_id):
+        packet = self.pool.acquire_filler(src, dst, payload, flow_id)
+        self.last = packet  # retained: aliases a recycled object later
+        self.stash.append(packet)  # retained in a container
+
+    def emit_control(self, src, dst):
+        self.last = self.pool.acquire(src=src, dst=dst, is_ack=True)

@@ -11,3 +11,11 @@ class BackgroundFlow:
     def start(self):
         delay = self._rng.exponential(1e-3)
         self.sim.schedule(delay, self.start)
+
+    def tick(self):
+        delay = self._rng.exponential(1e-3)
+        self.sim.schedule_call(delay, BackgroundFlow.tick, self)
+
+    def burst(self):
+        delay = self._rng.exponential(1e-3)
+        self.sim.schedule_batch([(delay, BackgroundFlow.burst, self)])

@@ -38,6 +38,7 @@ BAD_FIXTURES = [
     ("net/bad_taint.py", "nondeterminism-taint"),
     ("net/bad_simcb.py", "sim-callback-write"),
     ("packet/bad_typestate.py", "packet-typestate"),
+    ("net/bad_arena_retention.py", "pooled-packet-retention"),
 ]
 
 GOOD_FIXTURES = [
@@ -52,6 +53,7 @@ GOOD_FIXTURES = [
     "net/good_taint.py",
     "net/good_simcb.py",
     "packet/good_typestate.py",
+    "net/good_arena_retention.py",
 ]
 
 
@@ -176,3 +178,25 @@ def test_source_module_records_suppressions():
     )
     assert module.file_suppressions == frozenset({"float-eq"})
     assert module.line_suppressions[2] == frozenset({"print-call"})
+
+
+def test_taint_covers_fast_path_scheduling_apis():
+    """schedule_call / schedule_batch are event-loop sinks like schedule."""
+    findings = lint_fixture("net/bad_taint.py")
+    sinks = " ".join(f.message for f in findings)
+    assert "schedule() on the event loop" in sinks
+    assert "schedule_call() on the event loop" in sinks
+    assert "schedule_batch() on the event loop" in sinks
+
+
+def test_arena_retention_details():
+    findings = [
+        f for f in lint_fixture("net/bad_arena_retention.py")
+        if f.rule == "pooled-packet-retention"
+    ]
+    messages = " ".join(f.message for f in findings)
+    # Both retention shapes: attribute store and container append, for
+    # acquire_filler locals and direct acquire() results alike.
+    assert "stored on an attribute" in messages
+    assert ".append()" in messages
+    assert len(findings) >= 3

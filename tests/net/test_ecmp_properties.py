@@ -152,6 +152,9 @@ def test_cache_agrees_with_pure_lookup():
         cached = switch._ecmp_cache.get((src, dst, 77))
         pure = switch.route_lookup(src, dst, 77)
         if cached is not None:  # multipath hop: cache must match
-            assert cached == pure
+            # The flow-table entry carries (hop, aux, egress Link); the
+            # placement prefix must agree with the pure resolution.
+            assert cached[:2] == pure
+            assert cached[2] is switch.ports[cached[0]]
         next_index = predicted.index(switch_name) + 1
         assert pure is not None and pure[0] == predicted[next_index]

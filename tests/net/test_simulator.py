@@ -181,10 +181,138 @@ class TestPendingCounter:
         sim.run()
         assert sim.pending() == 0
 
-    def test_counter_matches_heap_truth(self):
+    def test_counter_matches_queue_truth(self):
         sim = Simulator()
         events = [sim.schedule(float(i + 1), lambda: None) for i in range(20)]
         for event in events[::3]:
             event.cancel()
-        live_truth = sum(1 for _, _, e in sim._heap if not e.cancelled)
+        live_truth = sum(
+            1 for entry in sim._entries() if not entry[2].cancelled
+        )
         assert sim.pending() == live_truth
+
+
+class TestFastPathScheduling:
+    """schedule_call / schedule_batch share the (time, sequence) stream
+    with schedule(), so mixing the APIs must stay deterministic."""
+
+    def test_schedule_call_runs_with_argument(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_call(1.0, hits.append, "x")
+        sim.run()
+        assert hits == ["x"]
+        assert sim.now == 1.0
+
+    def test_schedule_call_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="in the past"):
+            sim.schedule_call(-1e-9, lambda _: None, None)
+
+    def test_mixed_apis_interleave_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule_call(1.0, order.append, "b")
+        sim.schedule_batch([(1.0, order.append, "c")])
+        sim.schedule(1.0, lambda: order.append("d"))
+        sim.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_schedule_batch_matches_per_call_posting(self):
+        posted = [(0.5, 2), (2.5, 0), (0.5, 1), (3.0, 3)]
+        batched, looped = Simulator(), Simulator()
+        got_b, got_l = [], []
+        batched.schedule_batch((d, got_b.append, tag) for d, tag in posted)
+        for delay, tag in posted:
+            looped.schedule_call(delay, got_l.append, tag)
+        batched.run()
+        looped.run()
+        assert got_b == got_l == [2, 1, 0, 3]
+
+    def test_schedule_batch_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="in the past"):
+            sim.schedule_batch([(1.0, lambda _: None, None), (-0.5, lambda _: None, None)])
+
+    def test_fast_entries_count_as_pending(self):
+        sim = Simulator()
+        sim.schedule_call(1.0, lambda _: None, None)
+        sim.schedule_batch([(2.0, lambda _: None, None)] * 3)
+        assert sim.pending() == 4
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_far_future_calls_cross_the_ring_horizon(self):
+        # Default ring covers 1024 us; one second is deep overflow-heap
+        # territory, and the calendar must still drain in time order.
+        sim = Simulator()
+        order = []
+        sim.schedule_call(1.0, order.append, "far")
+        sim.schedule_call(1e-6, order.append, "near")
+        sim.schedule(0.5, lambda: order.append("mid"))
+        sim.run()
+        assert order == ["near", "mid", "far"]
+
+
+class TestLazyCancelCompaction:
+    """Cancel-heavy workloads (per-packet timer re-arming) must not grow
+    the calendar without bound: dead entries are compacted away once
+    they outnumber live ones."""
+
+    def _structure_size(self, sim):
+        return sum(1 for _ in sim._entries())
+
+    def test_cancel_churn_keeps_structure_bounded(self):
+        sim = Simulator()
+        keepers = [sim.schedule(float(i + 1), lambda: None) for i in range(8)]
+        # A transport-style timer loop: arm, cancel, re-arm — thousands
+        # of times, never letting the event run.
+        for i in range(5000):
+            sim.schedule(1e-6 * (i % 512 + 1), lambda: None).cancel()
+            if i % 97 == 0:
+                # Structure holds the live events plus at most the dead
+                # tolerated before compaction kicks in (_COMPACT_MIN_DEAD
+                # plus the live count at trigger time).
+                assert self._structure_size(sim) <= len(keepers) + 64 + len(keepers) + 1
+        assert sim.pending() == len(keepers)
+        assert self._structure_size(sim) < 100
+
+    def test_compaction_spans_ring_and_overflow(self):
+        sim = Simulator()
+        survivor = sim.schedule(2000e-6, lambda: None)  # past the 1024-bucket horizon
+        victims = [sim.schedule(1e-6 * (i % 2000 + 1), lambda: None) for i in range(300)]
+        for event in victims:
+            event.cancel()
+        # All dead ring + overflow entries are gone; the survivor remains.
+        entries = list(sim._entries())
+        live = [e for e in entries if not e[2].cancelled]
+        assert len(live) == 1 and live[0][2] is survivor
+        assert len(entries) < 100
+        assert sim.pending() == 1
+
+    def test_compaction_preserves_ordering(self):
+        sim = Simulator()
+        order = []
+        for i in range(6):
+            sim.schedule(float(i + 1), lambda i=i: order.append(i))
+        churn = [sim.schedule(0.5, lambda: None) for _ in range(200)]
+        for event in churn:
+            event.cancel()
+        sim.run()
+        assert order == [0, 1, 2, 3, 4, 5]
+
+    def test_cancel_counters_stay_consistent(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i % 7 + 1), lambda: None) for i in range(400)]
+        for event in events[::2]:
+            event.cancel()
+        live_truth = sum(
+            1
+            for entry in sim._entries()
+            if len(entry) == 3 and not entry[2].cancelled
+        )
+        assert sim.pending() == live_truth == 200
+        sim.run()
+        assert sim.pending() == 0
+        assert sim.events_processed == 200

@@ -1,0 +1,292 @@
+"""Tests for the packet arena: lifecycle, ownership kinds, and the
+arena-on/off byte-identity guarantee.
+
+The arena is an optimization that must be invisible: every test here
+either pins the ownership protocol (double release raises, message-kind
+refuses sink release, twins start un-pooled) or proves that a full
+simulation run produces identical results with pooling on and off.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import RHTCodec, decode_packets, packetize
+from repro.net import dumbbell
+from repro.packet import Packet
+from repro.packet.arena import (
+    KIND_MESSAGE,
+    KIND_TRANSIENT,
+    PacketArena,
+    arena_enabled,
+    get_arena,
+    set_arena,
+    set_arena_enabled,
+)
+from repro.transport import (
+    AIMD,
+    FixedWindow,
+    GoBackNReceiver,
+    GoBackNSender,
+    TrimmingReceiver,
+    TrimmingSender,
+    segment_bytes,
+)
+
+#: Packet fields that legitimately differ between two construction paths
+#: (fresh ids) or are pool bookkeeping rather than wire state.
+_NON_WIRE_FIELDS = {"packet_id", "_pool", "_pool_kind", "_pool_free"}
+
+
+@pytest.fixture
+def fresh_arena():
+    """A private enabled arena installed as the default, restored after."""
+    arena = PacketArena(capacity=64)
+    previous = set_arena(arena)
+    was_enabled = set_arena_enabled(True)
+    try:
+        yield arena
+    finally:
+        set_arena(previous)
+        set_arena_enabled(was_enabled)
+
+
+class TestLifecycle:
+    def test_acquire_release_reuses_the_object(self, fresh_arena):
+        first = fresh_arena.acquire(src="a", dst="b", payload=b"x")
+        assert fresh_arena.release_transient(first)
+        second = fresh_arena.acquire(src="c", dst="d", payload=b"yy")
+        assert second is first  # recycled, not reallocated
+        assert second.src == "c" and second.payload == b"yy"
+        assert fresh_arena.reused == 1
+
+    def test_recycled_packet_draws_a_fresh_id(self, fresh_arena):
+        first = fresh_arena.acquire(src="a", dst="b")
+        stale_id = first.packet_id
+        fresh_arena.release_transient(first)
+        second = fresh_arena.acquire(src="a", dst="b")
+        assert second.packet_id > stale_id
+
+    def test_double_release_raises(self, fresh_arena):
+        packet = fresh_arena.acquire(src="a", dst="b")
+        fresh_arena.release(packet)
+        with pytest.raises(RuntimeError, match="released twice"):
+            fresh_arena.release(packet)
+
+    def test_unpooled_packet_release_is_ignored(self, fresh_arena):
+        assert not fresh_arena.release(Packet(src="a", dst="b"))
+        assert not fresh_arena.release_transient(Packet(src="a", dst="b"))
+
+    def test_release_transient_refuses_message_kind(self, fresh_arena):
+        retained = fresh_arena.acquire(KIND_MESSAGE, src="a", dst="b", payload=b"data")
+        assert not fresh_arena.release_transient(retained)
+        assert retained.payload == b"data"  # sender's copy untouched
+        # The transfer owner still can release it.
+        assert fresh_arena.release_all([retained]) == 1
+
+    def test_release_all_dedups_overlapping_lists(self, fresh_arena):
+        packets = [fresh_arena.acquire(KIND_MESSAGE, src="a", dst="b") for _ in range(3)]
+        # Wire list and retransmit list overlap (plus an un-pooled twin).
+        wire = packets + [packets[0], None, Packet(src="a", dst="b")]
+        assert fresh_arena.release_all(wire) == 3
+        assert fresh_arena.release_all(packets) == 0  # already recycled
+
+    def test_capacity_overflow_falls_back_to_gc(self):
+        arena = PacketArena(capacity=1)
+        previous, was_enabled = set_arena(arena), set_arena_enabled(True)
+        try:
+            a = arena.acquire(src="a", dst="b")
+            b = arena.acquire(src="a", dst="b")
+            arena.release(a)
+            arena.release(b)
+            assert len(arena) == 1
+            assert arena.dropped == 1
+            assert b._pool is None  # detached for the GC, not leaked
+        finally:
+            set_arena(previous)
+            set_arena_enabled(was_enabled)
+
+    def test_debug_arena_poisons_released_packets(self):
+        arena = PacketArena(debug=True)
+        previous, was_enabled = set_arena(arena), set_arena_enabled(True)
+        try:
+            packet = arena.acquire(src="a", dst="b", payload=b"secret")
+            arena.release(packet)
+            # Use-after-release now reads unmistakable garbage.
+            assert packet.payload == b""
+            assert packet.src == "<released>"
+            assert packet.wire_size == 0
+        finally:
+            set_arena(previous)
+            set_arena_enabled(was_enabled)
+
+    def test_disabled_arena_never_pools(self, fresh_arena):
+        set_arena_enabled(False)
+        packet = fresh_arena.acquire(src="a", dst="b")
+        assert packet._pool is None
+        assert not fresh_arena.release_transient(packet)
+        filler = fresh_arena.acquire_filler("a", "b", b"x", 7)
+        assert filler._pool is None
+
+
+class TestTwinIndependence:
+    """replace() twins (trim remnants, clones) must never alias the pool."""
+
+    def _gradient_packet(self, arena):
+        from repro.packet import GradientHeader, pack_bits
+
+        header = GradientHeader(
+            codec_id=1, head_bits=1, tail_bits=31, message_id=1, epoch=0,
+            chunk_index=1, coord_offset=0, coord_count=100, seed=0, flags=0,
+        )
+        rng = np.random.default_rng(0)
+        heads = rng.integers(0, 2, 100).astype(np.uint32)
+        tails = rng.integers(0, 2**31, 100).astype(np.uint32)
+        payload = header.to_bytes() + pack_bits(heads, 1) + pack_bits(tails, 31)
+        return arena.acquire(
+            KIND_MESSAGE, src="a", dst="b", payload=payload, grad_header=header
+        )
+
+    def test_trim_twin_starts_unpooled(self, fresh_arena):
+        original = self._gradient_packet(fresh_arena)
+        twin = original.trim()
+        assert original._pool is fresh_arena
+        assert twin._pool is None
+
+    def test_clone_starts_unpooled(self, fresh_arena):
+        original = self._gradient_packet(fresh_arena)
+        assert original.clone()._pool is None
+
+    def test_twin_survives_original_recycling(self, fresh_arena):
+        original = self._gradient_packet(fresh_arena)
+        twin = original.trim()
+        remnant = bytes(twin.payload)
+        fresh_arena.release_all([original])
+        recycled = fresh_arena.acquire(src="x", dst="y", payload=b"\xff" * 64)
+        assert recycled is original  # the object was recycled...
+        assert bytes(twin.payload) == remnant  # ...but the twin kept its bytes
+        assert not fresh_arena.release_transient(twin)  # and owns no pool slot
+
+
+class TestAcquireFillerEquivalence:
+    """acquire_filler's slot-assignment fast path must be field-for-field
+    identical to plain keyword construction."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        src=st.text(min_size=1, max_size=12),
+        dst=st.text(min_size=1, max_size=12),
+        payload=st.binary(max_size=256),
+        flow_id=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_recycled_filler_matches_plain_construction(
+        self, src, dst, payload, flow_id
+    ):
+        arena = PacketArena()
+        previous, was_enabled = set_arena(arena), set_arena_enabled(True)
+        try:
+            # Dirty a packet with maximally non-default state, recycle it,
+            # and demand the filler path scrubs every field.
+            dirty = arena.acquire(
+                src="zzz", dst="zzz", payload=b"\xee" * 99, priority=2,
+                flow_id=12345, seq=9, seq_total=9, is_ack=True, nack=True,
+                pull=True, trimmed_echo=True, ecn=True, created_at=4.5,
+                trimmed_from=1000, checksum=1,
+            )
+            arena.release_transient(dirty)
+            recycled = arena.acquire_filler(src, dst, payload, flow_id)
+            assert recycled is dirty
+            reference = Packet(src=src, dst=dst, payload=payload, flow_id=flow_id)
+            for f in dataclasses.fields(Packet):
+                if f.name in _NON_WIRE_FIELDS:
+                    continue
+                assert getattr(recycled, f.name) == getattr(reference, f.name), f.name
+            # Fresh ids from the same stream, in draw order.
+            assert recycled.packet_id == reference.packet_id - 1
+            assert recycled._pool is arena
+            assert recycled._pool_kind == KIND_TRANSIENT
+            assert not recycled._pool_free
+        finally:
+            set_arena(previous)
+            set_arena_enabled(was_enabled)
+
+
+class _ABRun:
+    """One deterministic dumbbell run; everything identity-relevant."""
+
+    def __init__(self, drop, trim, seed):
+        net = dumbbell(pairs=1)
+        net.set_impairment("s0", "s1", drop_prob=drop, trim_prob=trim)
+        net.link_between("s0", "s1")._rng = np.random.default_rng(seed)
+        net.link_between("s1", "s0")._rng = np.random.default_rng(seed + 1)
+        self.trace = []
+
+        codec = RHTCodec(root_seed=seed % 1000, row_size=2048)
+        x = np.random.default_rng(seed).standard_normal(4000)
+        trim_messages = []
+        trim_sender = TrimmingSender(net.hosts["tx0"], flow_id=2, cc=FixedWindow(32))
+        TrimmingReceiver(
+            net.hosts["rx0"], flow_id=2,
+            on_message=lambda pkts: trim_messages.append((net.sim.now, pkts)),
+        )
+        trim_sender.send_message(packetize(codec.encode(x), "tx0", "rx0", flow_id=2))
+
+        gbn_messages = []
+        gbn_sender = GoBackNSender(
+            net.hosts["tx0"], flow_id=1, cc=AIMD(initial_window=8), rto_min=1e-4
+        )
+        GoBackNReceiver(
+            net.hosts["rx0"], flow_id=1,
+            on_message=lambda pkts: gbn_messages.append((net.sim.now, pkts)),
+        )
+        gbn_sender.send_message(segment_bytes("tx0", "rx0", 30_000, flow_id=1))
+
+        net.sim.run(until=30.0)
+        assert trim_sender.done and gbn_sender.done
+        for when, pkts in trim_messages + gbn_messages:
+            for p in pkts:
+                self.trace.append(
+                    (when, p.flow_id, p.seq, p.is_trimmed, p.wire_size,
+                     bytes(p.payload))
+                )
+        self.decoded = decode_packets(trim_messages[0][1], codec)
+        self.events = net.sim.events_processed
+        self.finished_at = net.sim.now
+
+
+class TestArenaByteIdentity:
+    """Same seed, pooling on vs off: identical deliveries, payload bytes,
+    decode output, and event count — under drop, trim, and the delivery
+    reordering retransmission causes."""
+
+    @settings(
+        max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        drop=st.floats(min_value=0.0, max_value=0.1),
+        trim=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_pooling_is_invisible(self, drop, trim, seed):
+        runs = {}
+        for enabled in (True, False):
+            previous = set_arena(PacketArena())
+            was_enabled = set_arena_enabled(enabled)
+            try:
+                runs[enabled] = _ABRun(drop, trim, seed)
+            finally:
+                set_arena(previous)
+                set_arena_enabled(was_enabled)
+        on, off = runs[True], runs[False]
+        assert on.trace == off.trace
+        assert on.events == off.events
+        assert on.finished_at == off.finished_at
+        np.testing.assert_array_equal(on.decoded, off.decoded)
+
+
+def test_module_default_arena_is_shared():
+    assert get_arena() is get_arena()
+    assert isinstance(arena_enabled(), bool)
