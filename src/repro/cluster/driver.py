@@ -203,16 +203,25 @@ class FabricHook(CommHook):
         job_index: int,
         codec: GradientCodec,
         mtu: int = 1500,
+        ef: bool = False,
     ) -> None:
         super().__init__()
         self.driver = driver
         self.job_index = job_index
         self.codec = codec
         self.mtu = mtu
+        self.ef = ef
         self.waves = 0
         #: (epoch, fabric time at wave end) per round — the driver's
         #: source for per-job time-to-accuracy on the shared clock.
         self.wave_log: List[Tuple[int, float]] = []
+        # DGC-style error feedback (see repro.resilience.ef for the
+        # channel-wrapper variant): per-worker residual carried into the
+        # next round, plus the running input/delivered sums the
+        # telescoping monitor checks against.
+        self._residuals: Dict[int, np.ndarray] = {}
+        self._ef_input_sum: Dict[int, np.ndarray] = {}
+        self._ef_delivered_sum: Dict[int, np.ndarray] = {}
 
     def _flow_id(self, worker: int) -> int:
         # Fresh ids every wave so a packet straggling past the deadline
@@ -225,8 +234,17 @@ class FabricHook(CommHook):
         message_id = self.next_message_id()
         placement = self.driver.runtimes[self.job_index].placement
         flats = [np.asarray(g, dtype=np.float64) for g in grads]
+        if self.ef:
+            # Error feedback: what the fabric lost last round rides
+            # along with this round's gradient.
+            carries = []
+            for worker, flat in enumerate(flats):
+                residual = self._residuals.get(worker)
+                carries.append(flat if residual is None else flat + residual)
+        else:
+            carries = flats
         transfers: List[_Transfer] = []
-        for worker, flat in enumerate(flats):
+        for worker, flat in enumerate(carries):
             enc = self.codec.encode(flat, epoch=epoch, message_id=message_id)
             flow_id = self._flow_id(worker)
             transfers.append(
@@ -252,27 +270,66 @@ class FabricHook(CommHook):
         self.wave_log.append((epoch, request.wave_end_s))
 
         received: List[np.ndarray] = []
-        for transfer, flat in zip(transfers, flats):
+        for worker, (transfer, flat) in enumerate(zip(transfers, flats)):
             self.stats.messages += 1
             self.stats.coordinates += flat.size
             if transfer.wire is None:
                 self.count_surrender()
-                received.append(np.zeros_like(flat))
-                continue
-            wire = transfer.wire
-            decoded = decode_packets(wire, self.codec)
-            data = [
-                p for p in wire if p.grad_header and not p.grad_header.is_metadata
-            ]
-            trimmed = sum(1 for p in data if p.is_trimmed)
-            self.stats.packets_total += len(data)
-            self.stats.packets_trimmed += trimmed
-            self.stats.bytes_sent += sum(p.wire_size for p in wire)
-            received.append(decoded)
+                delivered = np.zeros_like(flat)
+            else:
+                wire = transfer.wire
+                delivered = decode_packets(wire, self.codec)
+                data = [
+                    p for p in wire if p.grad_header and not p.grad_header.is_metadata
+                ]
+                trimmed = sum(1 for p in data if p.is_trimmed)
+                self.stats.packets_total += len(data)
+                self.stats.packets_trimmed += trimmed
+                self.stats.bytes_sent += sum(p.wire_size for p in wire)
+            if self.ef:
+                delivered = np.asarray(delivered, dtype=np.float64)
+                # residual_t = carry_t - delivered_t, so the telescoping
+                # sum(delivered) + residual == sum(inputs) holds.
+                self._residuals[worker] = carries[worker] - delivered
+                if worker in self._ef_input_sum:
+                    self._ef_input_sum[worker] = self._ef_input_sum[worker] + flat
+                    self._ef_delivered_sum[worker] = (
+                        self._ef_delivered_sum[worker] + delivered
+                    )
+                else:
+                    self._ef_input_sum[worker] = flat.copy()
+                    self._ef_delivered_sum[worker] = delivered.copy()
+            received.append(delivered)
         return np.mean(received, axis=0)
 
     def count_surrender(self) -> None:
         self.channel.count_surrender()
+
+    # -- error-feedback introspection -------------------------------------------
+
+    def ef_residual_norms(self) -> Dict[int, float]:
+        """Per-worker L2 norm of the current EF residual."""
+        return {
+            worker: float(np.linalg.norm(residual))
+            for worker, residual in sorted(self._residuals.items())
+        }
+
+    def ef_telescoping_gap(self) -> float:
+        """Max relative telescoping error across workers (0 when EF off).
+
+        For each worker the DGC invariant says ``sum(delivered) +
+        residual == sum(inputs)`` exactly in real arithmetic; in
+        float64 the gap is rounding noise.  Anything materially larger
+        means gradient mass was silently created or destroyed — the
+        chaos campaign's EF monitor alarms on it.
+        """
+        worst = 0.0
+        for worker, total_in in self._ef_input_sum.items():
+            reconstructed = self._ef_delivered_sum[worker] + self._residuals[worker]
+            gap = float(np.max(np.abs(total_in - reconstructed)))
+            scale = 1.0 + float(np.max(np.abs(total_in)))
+            worst = max(worst, gap / scale)
+        return worst
 
 
 # -- the driver ----------------------------------------------------------------
@@ -316,8 +373,15 @@ class ClusterDriver:
 
     # -- construction ----------------------------------------------------------
 
-    def _build_network(self) -> Network:
-        s = self.scenario
+    @staticmethod
+    def build_network(scenario: ClusterScenario, seed: int = 0) -> Network:
+        """The fabric a ``(scenario, seed)`` pair runs on.
+
+        Exposed so harnesses that only need the topology — the chaos
+        campaign's target enumeration, placement studies — can build
+        the exact same fabric without paying for job construction.
+        """
+        s = scenario
         trim_policy = SingleLevelTrim() if s.trim else None
         if s.topology == "fat-tree":
             return fat_tree(
@@ -327,7 +391,7 @@ class ClusterDriver:
                 trim_policy=trim_policy,
                 buffer_bytes=s.buffer_bytes,
                 ecmp=s.ecmp,
-                ecmp_seed=self.seed,
+                ecmp_seed=seed,
                 host_burst=s.host_burst,
             )
         return leaf_spine(
@@ -340,9 +404,12 @@ class ClusterDriver:
             trim_policy=trim_policy,
             buffer_bytes=s.buffer_bytes,
             ecmp=s.ecmp,
-            ecmp_seed=self.seed,
+            ecmp_seed=seed,
             host_burst=s.host_burst,
         )
+
+    def _build_network(self) -> Network:
+        return self.build_network(self.scenario, seed=self.seed)
 
     def _build_job(
         self, index: int, spec: JobSpec, placement: JobPlacement
@@ -367,7 +434,11 @@ class ClusterDriver:
             "rht", root_seed=job_seed + 1, row_size=spec.row_size
         )
         hook = FabricHook(
-            driver=self, job_index=index, codec=codec, mtu=self.scenario.mtu
+            driver=self,
+            job_index=index,
+            codec=codec,
+            mtu=self.scenario.mtu,
+            ef=spec.ef,
         )
         trainer = DDPTrainer(
             model,
@@ -561,7 +632,7 @@ class ClusterDriver:
             if record.top1 >= self.target_top1:
                 tta = epoch_end.get(record.epoch)
                 break
-        return {
+        report: Dict[str, Any] = {
             "workers": runtime.spec.workers,
             "aggregator": runtime.placement.aggregator,
             "worker_hosts": list(runtime.placement.workers),
@@ -583,7 +654,12 @@ class ClusterDriver:
                 epoch_end.get(r.epoch) for r in history.records
             ],
             "top1_curve": [r.top1 for r in history.records],
+            "ef": runtime.spec.ef,
         }
+        if runtime.spec.ef:
+            report["ef_telescoping_gap"] = runtime.hook.ef_telescoping_gap()
+            report["ef_residual_norms"] = runtime.hook.ef_residual_norms()
+        return report
 
     def _fairness(self) -> Dict[str, float]:
         goodputs = []

@@ -51,6 +51,11 @@ class JobSpec:
         seed_offset: added to the run seed for this job's data/model/
             codec seeds (None = the job's index, so two jobs are
             identical workloads only if their offsets are pinned equal).
+        ef: DGC-style error feedback on the fabric path — every worker
+            keeps what trimming/surrender lost as a residual and adds
+            it back next round, so the telescoping sum
+            ``sum(delivered) + residual == sum(inputs)`` holds (the
+            invariant the chaos campaign monitors).
     """
 
     name: str
@@ -60,6 +65,7 @@ class JobSpec:
     lr: float = 0.1
     row_size: int = 1024
     seed_offset: Optional[int] = None
+    ef: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -7,6 +7,10 @@ Subcommands:
   execute one preset (or a JSON scenario file) and write the fault/event
   log as JSONL.  Two runs with the same arguments produce byte-identical
   output files; the chaos CI job diffs exactly that.
+* ``repro-faults campaign run|replay|shrink`` — seeded chaos campaigns
+  over a cluster preset: draw a fault sequence, run it under the
+  invariant monitors (see :mod:`repro.faults.campaign`), replay a saved
+  plan byte-for-byte, or shrink a failing plan to a minimal repro.
 
 The JSONL stream is one fault event per line (sorted keys, simulation
 time only — never wall-clock time) followed by a single ``summary``
@@ -23,6 +27,16 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..net import impairment_summary
+from .campaign import (
+    CAMPAIGN_KINDS,
+    CampaignConfig,
+    CampaignPlan,
+    CampaignResult,
+    draw_plan,
+    render_campaign_jsonl,
+    run_campaign,
+    shrink_plan,
+)
 from .harness import TRANSPORTS, ScenarioRun, run_scenario
 from .scenarios import PRESETS, Scenario, scenario_by_name
 
@@ -97,6 +111,116 @@ def _cmd_run(ns: argparse.Namespace) -> int:
     return 0
 
 
+# -- chaos campaigns ----------------------------------------------------------
+
+
+def _load_plan(path: str) -> CampaignPlan:
+    with open(path, "r", encoding="utf-8") as fh:
+        return CampaignPlan.from_dict(json.load(fh))
+
+
+def _write_campaign_artifacts(
+    result: CampaignResult, out_dir: Optional[str]
+) -> None:
+    if out_dir is None:
+        return
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    plan_path = out / "plan.json"
+    plan_path.write_text(
+        json.dumps(result.plan.to_dict(), sort_keys=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    log_path = out / "campaign.jsonl"
+    log_path.write_text(
+        "\n".join(render_campaign_jsonl(result)) + "\n", encoding="utf-8"
+    )
+    logger.info("wrote %s and %s", plan_path, log_path)
+
+
+def _log_campaign_verdict(result: CampaignResult) -> int:
+    for violation in result.violations:
+        logger.error("VIOLATION %s: %s", violation.monitor, violation.detail)
+    summary = result.summary()
+    logger.info(
+        "campaign %s seed=%d: %d faults drawn, %d fault events, "
+        "%d reroutes, %d sim steps, %s",
+        summary["cluster"],
+        summary["seed"],
+        summary["faults"],
+        summary["fault_events"],
+        summary["fabric"].get("reroutes", 0),
+        summary["steps"],
+        "OK" if result.ok else f"{len(result.violations)} violation(s)",
+    )
+    return 0 if result.ok else 1
+
+
+def _cmd_campaign_run(ns: argparse.Namespace) -> int:
+    kinds = (
+        tuple(k for k in ns.kinds.split(",") if k) if ns.kinds else CAMPAIGN_KINDS
+    )
+    config = CampaignConfig(
+        cluster=ns.cluster,
+        seed=ns.seed,
+        faults=ns.faults,
+        kinds=kinds,
+        ef=not ns.no_ef,
+        check_determinism=ns.determinism,
+    )
+    result = run_campaign(draw_plan(config))
+    _write_campaign_artifacts(result, ns.out_dir)
+    return _log_campaign_verdict(result)
+
+
+def _cmd_campaign_replay(ns: argparse.Namespace) -> int:
+    result = run_campaign(_load_plan(ns.plan))
+    if ns.out is not None:
+        Path(ns.out).write_text(
+            "\n".join(render_campaign_jsonl(result)) + "\n", encoding="utf-8"
+        )
+        logger.info("wrote %s", ns.out)
+    return _log_campaign_verdict(result)
+
+
+def _cmd_campaign_shrink(ns: argparse.Namespace) -> int:
+    plan = _load_plan(ns.plan)
+    monitor = ns.monitor
+    if monitor is None:
+        first = run_campaign(plan)
+        if first.ok:
+            logger.info("plan violates no monitor; nothing to shrink")
+            return 0
+        monitor = first.violated_monitors[0]
+        logger.info("shrinking against monitor %r", monitor)
+    trace: List[dict] = []
+    shrunk = shrink_plan(plan, monitor, trace=trace)
+    out = Path(ns.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    shrunk_path = out / "shrunk.json"
+    shrunk_path.write_text(
+        json.dumps(shrunk.to_dict(), sort_keys=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    trace_path = out / "shrink.jsonl"
+    trace_path.write_text(
+        "\n".join(
+            json.dumps({"kind": "shrink", "monitor": monitor, **step}, sort_keys=True)
+            for step in trace
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    logger.info(
+        "shrunk %d -> %d fault(s); wrote %s and %s",
+        len(plan.faults),
+        len(shrunk.faults),
+        shrunk_path,
+        trace_path,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-faults",
@@ -127,6 +251,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulator safety valve (default 2e6 events)",
     )
     p_run.set_defaults(func=_cmd_run)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="seeded chaos campaigns over a cluster preset"
+    )
+    campaign_sub = p_campaign.add_subparsers(dest="campaign_command", required=True)
+
+    p_crun = campaign_sub.add_parser(
+        "run", help="draw a fault sequence, run it, judge the invariants"
+    )
+    p_crun.add_argument(
+        "--cluster",
+        default="idle-1job",
+        help="cluster preset to fuzz (default idle-1job)",
+    )
+    p_crun.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    p_crun.add_argument(
+        "--faults", type=int, default=3, help="fault specs to draw (default 3)"
+    )
+    p_crun.add_argument(
+        "--kinds",
+        default=None,
+        help=f"comma-separated fault-kind pool (default all of {CAMPAIGN_KINDS})",
+    )
+    p_crun.add_argument(
+        "--no-ef",
+        action="store_true",
+        help="leave error feedback off (disables the ef-telescoping monitor)",
+    )
+    p_crun.add_argument(
+        "--determinism",
+        action="store_true",
+        help="run the plan twice and require byte-identical reports",
+    )
+    p_crun.add_argument(
+        "--out-dir",
+        default=None,
+        help="write plan.json and campaign.jsonl artifacts here",
+    )
+    p_crun.set_defaults(func=_cmd_campaign_run)
+
+    p_creplay = campaign_sub.add_parser(
+        "replay", help="re-run a saved plan.json byte-for-byte"
+    )
+    p_creplay.add_argument("--plan", required=True, help="path to a saved plan.json")
+    p_creplay.add_argument(
+        "--out", default=None, help="write the campaign JSONL log here"
+    )
+    p_creplay.set_defaults(func=_cmd_campaign_replay)
+
+    p_cshrink = campaign_sub.add_parser(
+        "shrink", help="reduce a failing plan to a minimal repro"
+    )
+    p_cshrink.add_argument("--plan", required=True, help="path to a saved plan.json")
+    p_cshrink.add_argument(
+        "--monitor",
+        default=None,
+        help="monitor name to shrink against (default: first violated)",
+    )
+    p_cshrink.add_argument(
+        "--out-dir",
+        required=True,
+        help="write shrunk.json and shrink.jsonl here",
+    )
+    p_cshrink.set_defaults(func=_cmd_campaign_shrink)
     return parser
 
 

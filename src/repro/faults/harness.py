@@ -15,8 +15,8 @@ Scenarios are written against the dumbbell's names (``s0->s1``,
 those roles onto the ECMP path pair 0's flow actually takes — the
 bottleneck fault lands on the first fabric link of that path, the ACK
 fault on the reverse path, the receiver blackout on the receiver's edge
-port — so the same eight presets exercise a multipath fabric without
-rewriting them.
+port, a ``switch:s0`` device death on the aggregation tier — so the
+same presets exercise a multipath fabric without rewriting them.
 """
 
 from __future__ import annotations
@@ -77,8 +77,12 @@ def _remap_scenario(scenario: Scenario, net: Network) -> Tuple[Scenario, Dict[in
     The roles transfer along the path pair 0's flow actually hashes to
     (``Network.flow_path`` is pure, so this predicts without
     perturbing): ``s0->s1`` becomes that path's first fabric link,
-    ``s1->s0`` the reverse path's, and ``s1:rx<i>`` the receiver's edge
-    port.  Worker ranks map to the pod-0 sender hosts.
+    ``s1->s0`` the reverse path's, ``s1:rx<i>`` the receiver's edge
+    port, ``s0:s1`` (port-scoped kinds) the first fabric port on the
+    forward path, and ``switch:s0``/``switch:s1`` the aggregation
+    switch on the sender/receiver side of that path — the tier where a
+    device death still leaves the edge an equal-cost alternative to
+    reroute onto.  Worker ranks map to the pod-0 sender hosts.
     """
     tx0, rx0 = _fat_tree_hosts(0)
     forward = net.flow_path(tx0, rx0, FLOW_BASE)
@@ -87,17 +91,28 @@ def _remap_scenario(scenario: Scenario, net: Network) -> Tuple[Scenario, Dict[in
         "s0->s1": f"{forward[1]}->{forward[2]}",
         "s1->s0": f"{reverse[1]}->{reverse[2]}",
     }
+    # Aggregation-tier devices on pair 0's path (fall back to the edge
+    # on fabrics too shallow to have one).
+    agg_up = forward[2] if len(forward) > 4 else forward[1]
+    agg_down = forward[-3] if len(forward) > 4 else forward[-2]
+    switch_mapping = {"switch:s0": f"switch:{agg_up}", "switch:s1": f"switch:{agg_down}"}
     faults = []
     for spec in scenario.faults:
         target = spec.target
         if target in mapping:
             target = mapping[target]
-        elif spec.fault == "blackout" and ":" in target:
-            _, neighbor = target.split(":", 1)
+        elif spec.fault == "switch-down":
+            target = switch_mapping.get(target, target)
+        elif spec.fault in ("blackout", "port-flap") and ":" in target:
+            switch_name, neighbor = target.split(":", 1)
             if neighbor.startswith("rx"):
                 rx_host = _fat_tree_hosts(int(neighbor[2:]))[1]
                 edge = net.flow_path(tx0, rx_host, FLOW_BASE)[-2]
                 target = f"{edge}:{rx_host}"
+            elif (switch_name, neighbor) == ("s0", "s1"):
+                target = f"{forward[1]}:{forward[2]}"
+            elif (switch_name, neighbor) == ("s1", "s0"):
+                target = f"{reverse[1]}:{reverse[2]}"
         faults.append(replace(spec, target=target) if target != spec.target else spec)
     worker_hosts = {
         rank: _fat_tree_hosts(rank)[0] for rank in range(min(scenario.pairs, 4))

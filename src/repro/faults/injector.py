@@ -4,10 +4,18 @@
 and arms the network's existing seams:
 
 * per-packet faults (``corrupt``, ``ack-loss``, ``duplicate``,
-  ``reorder``, ``straggler``) compose into one
+  ``reorder``, ``straggler``, ``gray-failure``) compose into one
   :data:`~repro.net.link.DeliveryHook` per targeted link;
 * ``flap`` schedules ``Link.up`` transitions on the event loop;
-* ``blackout`` schedules :meth:`repro.net.switch.Switch.set_port_down`;
+* ``blackout`` schedules :meth:`repro.net.switch.Switch.set_port_down`
+  (FIB-visible: surviving equal-cost legs absorb the flows after the
+  reroute-convergence delay);
+* ``port-flap`` flaps one egress port at layer 1 — the link loses
+  everything while dark but the FIB never updates, so nothing reroutes;
+* ``switch-down`` kills a whole device via
+  :meth:`repro.net.switch.Switch.set_failed` and tells every adjacent
+  switch to take its port toward the corpse down, so their flows
+  reroute around it;
 * worker-scoped kinds resolve ``worker:<rank>`` to host ``tx<rank>``:
   ``crash`` takes both directions of the host's uplink down, and
   ``straggler`` delays that host's outbound packets.
@@ -99,6 +107,12 @@ class FaultInjector:
                 self._install_flap(spec)
             elif spec.fault == "blackout":
                 self._install_blackout(spec)
+            elif spec.fault == "port-flap":
+                self._install_port_flap(spec)
+            elif spec.fault == "switch-down":
+                self._install_switch_down(spec)
+            elif spec.fault == "gray-failure":
+                self._install_gray(spec, gen)
             elif spec.fault == "crash":
                 self._install_crash(spec)
             elif spec.fault == "straggler":
@@ -323,6 +337,128 @@ class FaultInjector:
                 sim.schedule(spec.period_s - spec.down_s, go_dark)
 
         sim.schedule(spec.start_s, go_dark)
+
+    def _install_port_flap(self, spec: FaultSpec) -> None:
+        """Layer-1 flap of one egress port: loss without FIB reaction.
+
+        The egress link toward the neighbor goes dark like a ``flap``,
+        but through the *switch's* port — the control plane never hears
+        about it, so unlike ``blackout`` no flow ever reroutes.  The
+        gray twin of a blackout: same loss, none of the healing.
+        """
+        switch_name, neighbor = spec.target.split(":", 1)
+        switch = self.network.switches.get(switch_name)
+        if switch is None:
+            raise ValueError(f"no switch {switch_name!r} in topology")
+        link = switch.ports.get(neighbor)
+        if link is None:
+            raise ValueError(f"{switch_name}: no port toward {neighbor!r}")
+        # See _install_crash: a link that can die mid-burst must
+        # serialize one packet at a time.
+        link.burst = 1
+        sim = self.network.sim
+
+        def go_down() -> None:
+            if spec.stop_s is not None and sim.now >= spec.stop_s:
+                return
+            link.up = False
+            self._record("port-flap", spec.target, state="down")
+            sim.schedule(spec.down_s, go_up)
+
+        def go_up() -> None:
+            link.up = True
+            self._record("port-flap", spec.target, state="up")
+            if spec.period_s > 0.0:
+                sim.schedule(spec.period_s - spec.down_s, go_down)
+
+        sim.schedule(spec.start_s, go_down)
+
+    def _install_switch_down(self, spec: FaultSpec) -> None:
+        """Kill a whole switch; adjacent FIBs route around the corpse."""
+        name = spec.target.split(":", 1)[1]
+        switch = self.network.switches.get(name)
+        if switch is None:
+            raise ValueError(f"no switch {name!r} in topology")
+        neighbors = [
+            other
+            for other in self.network.switches.values()
+            if other is not switch and name in other.ports
+        ]
+        # The dead switch's egress wires lose what they carry; pin them
+        # to one-packet serialization so the loss is exact (see
+        # _install_crash).
+        for link in switch.ports.values():
+            link.burst = 1
+        for other in neighbors:
+            other.ports[name].burst = 1
+        sim = self.network.sim
+
+        def die() -> None:
+            switch.set_failed(True)
+            for other in neighbors:
+                other.set_port_down(name, True)
+            self._record(
+                "switch-down", spec.target, state="down", switch=name,
+                adjacent=sorted(other.name for other in neighbors),
+            )
+            sim.schedule(spec.down_s, revive)
+
+        def revive() -> None:
+            switch.set_failed(False)
+            for other in neighbors:
+                other.set_port_down(name, False)
+            self._record("switch-down", spec.target, state="up", switch=name)
+            if spec.period_s > 0.0 and (
+                spec.stop_s is None or sim.now + spec.period_s - spec.down_s < spec.stop_s
+            ):
+                sim.schedule(spec.period_s - spec.down_s, die)
+
+        sim.schedule(spec.start_s, die)
+
+    def _install_gray(self, spec: FaultSpec, gen: np.random.Generator) -> None:
+        """Gray failure on one leg: silent drops + corruption, port 'up'.
+
+        The nastiest fabric failure mode: no flap, no blackout, no FIB
+        event — the leg just eats ``rate`` of its packets and mangles
+        ``corrupt_rate`` of the survivors.  Nothing reroutes; only
+        end-to-end integrity (CRC seals, retransmits) catches it.
+        """
+        sim = self.network.sim
+        target = spec.target
+
+        def stage(entry: Tuple[float, Packet]) -> List[Tuple[float, Packet]]:
+            delay, packet = entry
+            if not spec.active_at(sim.now):
+                return [entry]
+            if spec.rate > 0.0 and gen.random() < spec.rate:
+                self._record(
+                    "gray-failure",
+                    target,
+                    effect="drop",
+                    flow_id=packet.flow_id,
+                    seq=packet.seq,
+                    is_ack=packet.is_ack,
+                )
+                return []
+            if (
+                spec.corrupt_rate > 0.0
+                and not packet.is_ack
+                and packet.payload
+                and gen.random() < spec.corrupt_rate
+            ):
+                corrupted = self._flip_bits(packet, gen, spec.bit_flips)
+                self._record(
+                    "gray-failure",
+                    target,
+                    effect="corrupt",
+                    flow_id=packet.flow_id,
+                    seq=packet.seq,
+                    bit_flips=spec.bit_flips,
+                )
+                return [(delay, corrupted)]
+            return [entry]
+
+        self._hooked_links.setdefault(target, []).append(stage)
 
     # -- reporting --------------------------------------------------------------
 

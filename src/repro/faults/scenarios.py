@@ -2,11 +2,13 @@
 
 A :class:`FaultSpec` is one scheduled fault stream — corruption on a
 link, ACK loss, duplication, reordering jitter, a link flap, a switch
-port blackout, a worker crash, a persistent straggler — and a
-:class:`Scenario` is a named bundle of specs plus the topology/workload
-shape to run them against.  Everything is plain data: scenarios
-serialize to/from dicts, so a JSON file is a valid scenario definition
-and the preset table below is just eight of them.
+port blackout, a worker crash, a persistent straggler, a whole-device
+switch death, a layer-1 port flap the control plane never sees, or a
+gray failure that silently eats packets while the port stays "up" —
+and a :class:`Scenario` is a named bundle of specs plus the
+topology/workload shape to run them against.  Everything is plain
+data: scenarios serialize to/from dicts, so a JSON file is a valid
+scenario definition and the preset table below is just eleven of them.
 
 Determinism contract: a scenario carries **no randomness of its own**.
 All random draws happen inside :class:`repro.faults.FaultInjector`
@@ -39,6 +41,9 @@ FAULT_KINDS = (
     "blackout",
     "crash",
     "straggler",
+    "switch-down",
+    "port-flap",
+    "gray-failure",
 )
 
 #: Kinds that draw a Bernoulli decision per packet (need ``rate``).
@@ -50,6 +55,11 @@ _PER_PACKET = ("corrupt", "ack-loss", "duplicate", "reorder", "straggler")
 #: :class:`repro.resilience.WorkerFaultPlan`.
 _WORKER_SCOPED = ("crash", "straggler")
 
+#: Kinds scoped to one egress port (``target="<switch>:<neighbor>"``).
+#: ``blackout`` is FIB-visible (the switch reroutes after convergence);
+#: ``port-flap`` is a layer-1 flap the control plane never hears about.
+_PORT_SCOPED = ("blackout", "port-flap")
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -57,19 +67,26 @@ class FaultSpec:
 
     Attributes:
         fault: one of :data:`FAULT_KINDS`.
-        target: a link label ``"src->dst"`` (per-packet kinds and
-            ``flap``) or ``"switch:neighbor"`` (``blackout``).
-        rate: per-packet probability for the per-packet kinds.
+        target: a link label ``"src->dst"`` (per-packet kinds, ``flap``
+            and ``gray-failure``), ``"<switch>:<neighbor>"``
+            (``blackout``/``port-flap``) or ``"switch:<name>"``
+            (``switch-down``).
+        rate: per-packet probability for the per-packet kinds; the
+            silent-drop probability of a ``gray-failure``.
         start_s: simulation time the fault becomes active.
         stop_s: simulation time it stops (None = whole run).
         period_s: flap cycle length (down + up); 0 = a single flap.
-        down_s: how long each flap/blackout keeps the target dark.
+        down_s: how long each flap/blackout/switch-down keeps the
+            target dark.
         jitter_s: max extra delay for ``reorder``; the fixed extra delay
             of a ``duplicate`` copy or of a ``straggler``'s slow packets.
         bit_flips: payload bits flipped per corrupted packet.
         slow_factor: multiplicative round-time slowdown a ``straggler``
             imposes in the DDP cost-model path (the network path uses
             ``jitter_s`` per packet instead).
+        corrupt_rate: ``gray-failure`` only — probability that a packet
+            the leg does *not* silently drop gets its payload corrupted
+            instead (the flaky-SerDes half of a gray failure).
     """
 
     fault: str
@@ -82,21 +99,43 @@ class FaultSpec:
     jitter_s: float = 0.0
     bit_flips: int = 8
     slow_factor: float = 1.0
+    corrupt_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.fault not in FAULT_KINDS:
             raise ValueError(f"unknown fault {self.fault!r}; expected one of {FAULT_KINDS}")
         if self.fault in _PER_PACKET and not 0.0 < self.rate <= 1.0:
             raise ValueError(f"{self.fault} needs rate in (0, 1], got {self.rate}")
-        if self.fault in ("flap", "blackout") and self.down_s <= 0.0:
+        if self.fault in ("flap", "switch-down", *_PORT_SCOPED) and self.down_s <= 0.0:
             raise ValueError(f"{self.fault} needs down_s > 0, got {self.down_s}")
         if 0.0 < self.period_s <= self.down_s:
             raise ValueError(
                 f"period_s={self.period_s} must exceed down_s={self.down_s}"
             )
-        if self.fault == "blackout" and ":" not in self.target:
-            raise ValueError(f"blackout target must be 'switch:neighbor', got {self.target!r}")
-        if self.fault in _WORKER_SCOPED:
+        if self.fault in _PORT_SCOPED and ":" not in self.target:
+            raise ValueError(
+                f"{self.fault} target must be '<switch>:<neighbor>', got {self.target!r}"
+            )
+        if self.fault == "switch-down":
+            if not self.target.startswith("switch:") or not self.target[7:]:
+                raise ValueError(
+                    f"switch-down target must be 'switch:<name>', got {self.target!r}"
+                )
+        elif self.fault == "gray-failure":
+            if not 0.0 <= self.rate <= 1.0 or not 0.0 <= self.corrupt_rate <= 1.0:
+                raise ValueError(
+                    "gray-failure rate and corrupt_rate must be in [0, 1], got "
+                    f"rate={self.rate}, corrupt_rate={self.corrupt_rate}"
+                )
+            if self.rate == 0.0 and self.corrupt_rate == 0.0:
+                raise ValueError(
+                    "gray-failure needs rate > 0 or corrupt_rate > 0 (else it is a no-op)"
+                )
+            if "->" not in self.target:
+                raise ValueError(
+                    f"gray-failure target must be 'src->dst', got {self.target!r}"
+                )
+        elif self.fault in _WORKER_SCOPED:
             if not self.target.startswith("worker:"):
                 raise ValueError(
                     f"{self.fault} target must be 'worker:<rank>', got {self.target!r}"
@@ -104,10 +143,12 @@ class FaultSpec:
             rank = self.target.split(":", 1)[1]
             if not rank.isdigit():
                 raise ValueError(f"{self.fault} worker rank must be an integer, got {rank!r}")
-        elif self.fault != "blackout" and "->" not in self.target:
+        elif self.fault not in _PORT_SCOPED and "->" not in self.target:
             raise ValueError(f"{self.fault} target must be 'src->dst', got {self.target!r}")
         if self.fault == "straggler" and self.jitter_s <= 0.0:
             raise ValueError(f"straggler needs jitter_s > 0, got {self.jitter_s}")
+        if self.fault != "gray-failure" and self.corrupt_rate != 0.0:
+            raise ValueError(f"corrupt_rate only applies to gray-failure, got {self.fault}")
         if self.slow_factor < 1.0:
             raise ValueError(f"slow_factor must be >= 1, got {self.slow_factor}")
         if self.start_s < 0 or (self.stop_s is not None and self.stop_s <= self.start_s):
@@ -261,6 +302,51 @@ def _presets() -> Dict[str, Scenario]:
                 duration_s=2.0,
                 coords=10_000,
                 max_retries=40,
+            ),
+            Scenario(
+                name="core-switch-down",
+                description=(
+                    "the ingress-side switch dies whole mid-transfer for "
+                    "1.5 ms — every flow through it blackholes until the "
+                    "fabric heals and retransmits finish the message"
+                ),
+                faults=(
+                    FaultSpec(
+                        "switch-down", "switch:s0", start_s=0.3e-3, down_s=1.5e-3
+                    ),
+                ),
+                max_retries=40,
+            ),
+            Scenario(
+                name="gray-core-leak",
+                description=(
+                    "a gray failure on the bottleneck: the port stays up "
+                    "while the leg silently eats 4% of packets and "
+                    "corrupts another 4%"
+                ),
+                faults=(
+                    FaultSpec(
+                        "gray-failure", bottleneck, rate=0.04, corrupt_rate=0.04
+                    ),
+                ),
+            ),
+            Scenario(
+                name="port-flap-storm",
+                description=(
+                    "the bottleneck egress port flaps at layer 1 — 0.4 ms "
+                    "dark out of every 2 ms — without the control plane "
+                    "ever noticing, so nothing reroutes"
+                ),
+                faults=(
+                    FaultSpec(
+                        "port-flap",
+                        "s0:s1",
+                        start_s=0.2e-3,
+                        period_s=2e-3,
+                        down_s=0.4e-3,
+                        stop_s=20e-3,
+                    ),
+                ),
             ),
             Scenario(
                 name="straggler-storm",

@@ -18,13 +18,16 @@ from heapq import heappush
 from typing import Callable, Dict, Optional, Tuple
 
 from ..obs.int_telemetry import (
+    AUX_PATH_CHANGED,
     DECISION_DROP,
     DECISION_FORWARD,
     DECISION_TRIM,
+    REASON_BLACKHOLE,
     REASON_BUFFER_OVERFLOW,
     REASON_HEADER_BAND_OVERFLOW,
     REASON_NO_ROUTE,
     REASON_PORT_BLACKOUT,
+    REASON_SWITCH_DOWN,
     hop_id,
 )
 from ..obs.metrics import get_registry
@@ -45,6 +48,8 @@ _DROP_REASONS = {
     "port-blackout": REASON_PORT_BLACKOUT,
     "header-band-overflow": REASON_HEADER_BAND_OVERFLOW,
     "buffer-overflow": REASON_BUFFER_OVERFLOW,
+    "blackhole": REASON_BLACKHOLE,
+    "switch-down": REASON_SWITCH_DOWN,
 }
 
 
@@ -62,10 +67,17 @@ class SwitchStats:
     # core link congest while its siblings idle).
     ecmp_flows: int = 0
     ecmp_collisions: int = 0
+    # Flows rehomed onto a surviving equal-cost leg after a port died.
+    reroutes: int = 0
 
     def note_drop(self, kind: str) -> None:
         self.dropped += 1
         self.drops_by_kind[kind] = self.drops_by_kind.get(kind, 0) + 1
+
+    @property
+    def blackhole(self) -> int:
+        """Packets lost to a stale FIB during reroute convergence."""
+        return self.drops_by_kind.get("blackhole", 0)
 
     @property
     def enqueues(self) -> int:
@@ -99,6 +111,11 @@ class Switch(Device):
         ecn_threshold_bytes: DCTCP-style marking threshold on the data
             band (None disables ECN).
         trim_policy: what to do on overflow; defaults to drop-tail.
+        reroute_delay_s: FIB convergence delay after a port goes down.
+            Packets hashed onto the dead leg blackhole for this long
+            (the stale-FIB window every real fabric has), then the
+            switch evicts exactly those flows from its flow table and
+            rehashes them across the surviving equal-cost legs.
     """
 
     def __init__(
@@ -109,6 +126,7 @@ class Switch(Device):
         header_band_bytes: int = 30_000,
         ecn_threshold_bytes: Optional[int] = None,
         trim_policy: Optional[TrimPolicy] = None,
+        reroute_delay_s: float = 50e-6,
     ) -> None:
         super().__init__(name, sim)
         self.buffer_bytes = buffer_bytes
@@ -117,9 +135,27 @@ class Switch(Device):
         self.trim_policy = trim_policy or NeverTrim()
         self.ports: Dict[str, Link] = {}
         # Ports currently blacked out by fault injection: packets routed
-        # toward them are dropped (kind "port-blackout") until the port
-        # comes back, modelling a dead transceiver / unplugged cable.
+        # toward them are dropped until the port comes back, modelling a
+        # dead transceiver / unplugged cable.  Before the FIB converges
+        # the drops are "blackhole" (stale flow table); afterwards flows
+        # rehome onto surviving legs, and only routes with no live
+        # alternative keep dropping (legacy kind "port-blackout").
         self.ports_down: set = set()
+        self.reroute_delay_s = reroute_delay_s
+        # Whole-device failure: every received packet drops as
+        # "switch-down" and the egress serializers go dark.
+        self.failed = False
+        # Down ports whose reroute-convergence delay has elapsed:
+        # route_lookup steers new placements around these.
+        self._converged_down: set = set()
+        # Flow keys evicted by a convergence event, mapped to the dead
+        # leg they sat on — the next packet of such a flow either counts
+        # a reroute (new leg differs) or re-pins to the dead leg when no
+        # alternative exists.
+        self._reroute_pending: Dict[Tuple[str, str, int], str] = {}
+        # Flow keys whose next INT forward record gets AUX_PATH_CHANGED
+        # OR-ed into aux, so traces show exactly where a failover landed.
+        self._path_changed: set = set()
         # dst host -> equal-cost next hops; flows are hashed across them
         # (ECMP).  A single-element list is plain shortest-path routing.
         self.routes: Dict[str, list] = {}
@@ -169,6 +205,24 @@ class Switch(Device):
             "new flows hashed onto an equal-cost port already carrying flows",
             ("switch",),
         ).bind(switch=name)
+        self._m_reroutes = registry.counter(
+            "repro_switch_reroutes_total",
+            "flows rehomed onto a surviving equal-cost leg after a port died",
+            ("switch",),
+        ).bind(switch=name)
+        self._m_blackhole = registry.counter(
+            "repro_switch_blackhole_drops_total",
+            "packets lost to a stale FIB during reroute convergence",
+            ("switch",),
+        ).bind(switch=name)
+        self._m_ports_down = registry.gauge(
+            "repro_switch_ports_down",
+            "egress ports currently down on this switch",
+            ("switch",),
+        ).bind(switch=name)
+        # A live gauge publishes its state from birth (and a fresh
+        # switch reusing a prior run's name must not inherit its value).
+        self._m_ports_down.set(0.0)
         # The per-packet forwarded twin is deferred: the forwarding path
         # keeps stats.forwarded and the registry pulls it on read.
         registry.add_flush_hook(self._flush_metrics)
@@ -209,15 +263,74 @@ class Switch(Device):
         if self._ecmp_cache:
             self._ecmp_cache.clear()
             self._ecmp_load.clear()
+            self._reroute_pending.clear()
+            self._path_changed.clear()
 
     def set_port_down(self, neighbor: str, down: bool = True) -> None:
-        """Black out (or restore) the egress port toward ``neighbor``."""
+        """Black out (or restore) the egress port toward ``neighbor``.
+
+        Going down starts a :attr:`reroute_delay_s` stale-FIB window:
+        flows pinned to the dead leg blackhole until the scheduled
+        convergence callback evicts exactly those flows, after which
+        they rehash across the surviving equal-cost legs.  Flows on
+        other legs keep their cached placement throughout (selective
+        invalidation — intra-flow ordering on survivors is untouched).
+        Restoring the port does not move rerouted flows back: like a
+        real fabric, placements are sticky until the flow table ages
+        out or the route set changes.
+        """
         if neighbor not in self.ports:
             raise ValueError(f"{self.name}: no port toward {neighbor}")
         if down:
+            if neighbor in self.ports_down:
+                return
             self.ports_down.add(neighbor)
+            self.sim.schedule_call(self.reroute_delay_s, self._converge, neighbor)
         else:
             self.ports_down.discard(neighbor)
+            self._converged_down.discard(neighbor)
+        self._m_ports_down.set(len(self.ports_down))
+
+    def _converge(self, neighbor: str) -> None:
+        """FIB convergence: route around ``neighbor``, evict its flows.
+
+        Only entries pinned to the dead leg are evicted (with exact
+        ``_ecmp_load`` decrements); every other flow keeps its cached
+        placement.  Evicted keys go to ``_reroute_pending`` so the next
+        packet of each flow counts a reroute when it lands on a
+        different leg.
+        """
+        if neighbor not in self.ports_down:
+            return  # restored before the FIB caught up
+        self._converged_down.add(neighbor)
+        if not self._ecmp_cache:
+            return
+        victims = [
+            key for key, entry in self._ecmp_cache.items() if entry[0] == neighbor
+        ]
+        for key in victims:
+            hop, aux, _link = self._ecmp_cache.pop(key)
+            if aux:
+                carried = self._ecmp_load.get(hop, 0) - 1
+                if carried > 0:
+                    self._ecmp_load[hop] = carried
+                else:
+                    self._ecmp_load.pop(hop, None)
+            self._reroute_pending[key] = hop
+
+    def set_failed(self, failed: bool = True) -> None:
+        """Kill (or revive) the whole device.
+
+        A failed switch drops everything it receives as "switch-down"
+        and its egress serializers go dark (``link.up = False``), so
+        in-flight packets toward *and* through it are lost.  Neighbor
+        FIB reaction is the fault injector's job: it calls
+        :meth:`set_port_down` on every adjacent switch so their flows
+        reroute around the corpse.
+        """
+        self.failed = failed
+        for link in self.ports.values():
+            link.up = not failed
 
     def _pick_next_hop(self, packet: Packet) -> Optional[str]:
         hop_and_index = self._pick_ecmp(packet)
@@ -236,11 +349,34 @@ class Switch(Device):
         :meth:`Network.flow_path` call this to predict placements
         without perturbing flow tables.
         """
+        cached = self._ecmp_cache.get((src, dst, flow_id))
+        if cached is not None:
+            # Flow-table entries win: survivors of a failover keep their
+            # placement, so prediction must read the same state the
+            # forwarding path does.
+            return cached[0], cached[1]
         hops = self.routes.get(dst)
         if not hops:
             return None
         if len(hops) == 1:
             return hops[0], 0
+        if self._converged_down:
+            # Post-convergence FIB: hash only across live legs, but keep
+            # aux as the leg's index in the *full* group so INT traces
+            # name the same leg before and after a failover.  With no
+            # live leg left we fall back to the full set — the flow
+            # pins to a dead port and drops as legacy "port-blackout".
+            live = [h for h in hops if h not in self._converged_down]
+            if live:
+                if len(live) == 1:
+                    return live[0], hops.index(live[0]) + 1
+                digest = zlib.crc32(f"{self.name}|{src}|{dst}|{flow_id}".encode())
+                x = (digest | (self.ecmp_salt << 32)) & 0xFFFFFFFFFFFFFFFF
+                x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+                x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+                x ^= x >> 31
+                hop = live[x % len(live)]
+                return hop, hops.index(hop) + 1
         # CRC32 alone is linear over GF(2): two salts hashed into the
         # digest differ by a constant XOR per message length, which mod
         # a small hop count collapses to a handful of parity bits — a
@@ -274,9 +410,38 @@ class Switch(Device):
         hop, aux = resolved
         entry = (hop, aux, self.ports[hop])
         if aux == 0:
-            return entry  # single-path routes skip the flow table
+            # Single-path routes skip the flow table; a key evicted by a
+            # convergence event just re-pins (nothing to reroute onto).
+            if self._reroute_pending:
+                self._reroute_pending.pop(key, None)
+            return entry
         self._ecmp_cache[key] = entry
         carried = self._ecmp_load.get(hop, 0)
+        if self._reroute_pending:
+            old_hop = self._reroute_pending.pop(key, None)
+            if old_hop is not None:
+                self._ecmp_load[hop] = carried + 1
+                if old_hop == hop:
+                    # No live alternative: the flow re-pinned to the
+                    # dead leg.  Not a reroute — it will keep dropping
+                    # as "port-blackout" until the port comes back.
+                    return entry
+                self.stats.reroutes += 1
+                self._m_reroutes.inc()
+                self._path_changed.add(key)
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "switch.reroute",
+                        sim_time=self.sim.now,
+                        switch=self.name,
+                        src=packet.src,
+                        dst=packet.dst,
+                        flow_id=packet.flow_id,
+                        old_hop=old_hop,
+                        new_hop=hop,
+                    )
+                return entry
         self.stats.ecmp_flows += 1
         if carried:
             self.stats.ecmp_collisions += 1
@@ -287,6 +452,9 @@ class Switch(Device):
     # -- forwarding -----------------------------------------------------------
 
     def receive(self, packet: Packet, ingress: Optional[Link] = None) -> None:
+        if self.failed:
+            self._drop(packet, "switch-down")
+            return
         # Flow-table hit first: per packet this is one dict probe; the
         # full _pick_ecmp resolution only runs on a miss.  Single-path
         # routes skip _pick_ecmp's flow accounting but still cache here
@@ -302,8 +470,20 @@ class Switch(Device):
                 self._ecmp_cache[key] = cached
         next_hop, ecmp_aux, link = cached
         if self.ports_down and next_hop in self.ports_down:
-            self._drop(packet, "port-blackout")
+            if next_hop in self._converged_down:
+                # FIB converged but this flow had nowhere to go (no
+                # live equal-cost alternative): legacy blackout drop.
+                self._drop(packet, "port-blackout")
+            else:
+                # Stale-FIB window: the port is dead but the flow table
+                # still points at it, so the packet silently vanishes.
+                self._m_blackhole.inc()
+                self._drop(packet, "blackhole")
             return
+        if self._path_changed and key in self._path_changed:
+            self._path_changed.discard(key)
+            if packet.int_ext is not None:
+                ecmp_aux = ecmp_aux | AUX_PATH_CHANGED
         # Fused fast path: replicate forward -> enqueue -> push inline
         # for the common case (no INT band to stamp, forward not wrapped
         # by a PacketTracer).  Counter and ECN side effects are exactly

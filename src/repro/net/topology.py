@@ -226,12 +226,22 @@ class Network:
         return dev.ports[b]
 
     def total_switch_stats(self) -> Dict[str, int]:
-        """Aggregate forwarded/trimmed/dropped counters over all switches."""
-        totals = {"forwarded": 0, "trimmed": 0, "dropped": 0}
+        """Aggregate forwarded/trimmed/dropped/failover counters over all switches."""
+        totals = {
+            "forwarded": 0,
+            "trimmed": 0,
+            "dropped": 0,
+            "reroutes": 0,
+            "blackhole_drops": 0,
+            "ports_down": 0,
+        }
         for switch in self.switches.values():
             totals["forwarded"] += switch.stats.forwarded
             totals["trimmed"] += switch.stats.trimmed
             totals["dropped"] += switch.stats.dropped
+            totals["reroutes"] += switch.stats.reroutes
+            totals["blackhole_drops"] += switch.stats.blackhole
+            totals["ports_down"] += len(switch.ports_down)
         return totals
 
 

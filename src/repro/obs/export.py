@@ -178,6 +178,31 @@ def build_report(
             kinds = ", ".join(f"{k}: {v}" for k, v in sorted(drop_kinds.items()))
             lines.append(f"  drops by kind: {kinds}")
 
+    # -- fabric self-healing ------------------------------------------------
+    reroutes = by_name.get("switch.reroute", ())
+    fabric_drops: Dict[str, int] = defaultdict(int)
+    for ev in by_name.get("switch.drop", ()):
+        kind = ev.get("fields", {}).get("kind")
+        if kind in ("blackhole", "switch-down", "port-blackout", "no-route"):
+            fabric_drops[str(kind)] += 1
+    if reroutes or fabric_drops:
+        lines.append("")
+        lines.append("-- fabric self-healing --")
+        per_switch: Dict[str, int] = defaultdict(int)
+        for ev in reroutes:
+            per_switch[str(ev.get("fields", {}).get("switch", "?"))] += 1
+        detail = (
+            " (" + ", ".join(f"{s}: {n}" for s, n in sorted(per_switch.items())) + ")"
+            if per_switch
+            else ""
+        )
+        lines.append(f"  flow reroutes: {len(reroutes)}{detail}")
+        if fabric_drops:
+            lines.append(
+                "  failure drops: "
+                + ", ".join(f"{k}: {v}" for k, v in sorted(fabric_drops.items()))
+            )
+
     # -- queue depth percentiles -------------------------------------------
     queue_samples: Dict[str, List[float]] = defaultdict(list)
     for ev in by_name.get("queue.sample", ()):
@@ -312,6 +337,7 @@ _ROW_COLORS = {
     "forward": (44, 160, 44),
     "trim": (255, 127, 14),
     "drop": (214, 39, 40),
+    "blackhole": (64, 64, 64),
     "retransmit": (148, 103, 189),
 }
 
@@ -370,7 +396,7 @@ def timeline_html(timeline: "Timeline", title: str = "congestion timeline") -> s
     if tl.activity:
         parts.append("<h2>Switch / transport activity (events per bin)</h2>")
         parts.append('<table class="grid">')
-        for row in ("forward", "trim", "drop", "retransmit"):
+        for row in ("forward", "trim", "drop", "blackhole", "retransmit"):
             series = tl.activity.get(row)
             if series is None:
                 continue

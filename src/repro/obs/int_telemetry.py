@@ -54,6 +54,10 @@ __all__ = [
     "REASON_NO_ROUTE",
     "REASON_PORT_BLACKOUT",
     "REASON_LINK_IMPAIRMENT",
+    "REASON_BLACKHOLE",
+    "REASON_SWITCH_DOWN",
+    "REASON_GRAY_LOSS",
+    "AUX_PATH_CHANGED",
     "decision_name",
     "reason_name",
     "INTHopRecord",
@@ -106,6 +110,16 @@ REASON_HEADER_BAND_OVERFLOW = 2
 REASON_NO_ROUTE = 3
 REASON_PORT_BLACKOUT = 4
 REASON_LINK_IMPAIRMENT = 5
+REASON_BLACKHOLE = 6
+REASON_SWITCH_DOWN = 7
+REASON_GRAY_LOSS = 8
+
+#: High bit of the ``aux`` field on a forward record: this flow was
+#: rerouted onto a different ECMP leg after a port failure, and this is
+#: its first stamped packet on the new path.  The low bits keep their
+#: usual meaning (path index + 1), so a failover reads as
+#: ``aux = AUX_PATH_CHANGED | new_leg``.
+AUX_PATH_CHANGED = 0x8000
 
 _REASON_NAMES = {
     REASON_NONE: "none",
@@ -114,6 +128,9 @@ _REASON_NAMES = {
     REASON_NO_ROUTE: "no-route",
     REASON_PORT_BLACKOUT: "port-blackout",
     REASON_LINK_IMPAIRMENT: "link-impairment",
+    REASON_BLACKHOLE: "blackhole",
+    REASON_SWITCH_DOWN: "switch-down",
+    REASON_GRAY_LOSS: "gray-loss",
 }
 
 

@@ -5,9 +5,12 @@ time-binned picture of one run:
 
 * a **queue-depth heatmap** per watched egress queue (block characters
   in the terminal, a color grid in the static HTML export);
-* per-bin **forward / trim / drop / retransmit** activity rows;
-* **event markers** for surrenders, link-down losses and other
-  exceptional moments;
+* per-bin **forward / trim / drop / blackhole / retransmit** activity
+  rows — blackhole drops (packets a stale FIB hashed onto a dead leg)
+  get their own row so fabric failures read differently from plain
+  queue-full congestion;
+* **event markers** for surrenders, ECMP failover reroutes, link-down
+  losses and other exceptional moments;
 * a **per-layer table** — trim fraction per gradient message when
   ``channel.transfer`` events are present, per-flow trim counts
   otherwise.
@@ -70,8 +73,14 @@ _ACTIVITY = {
     "transport.retransmit": "retransmit",
 }
 
+#: Activity rows in render order.
+_ACTIVITY_ROWS = ("forward", "trim", "drop", "blackhole", "retransmit")
+
 #: Events surfaced as point markers under the heatmap.
-_MARKS = ("transport.surrender", "channel.degraded_step")
+_MARKS = ("transport.surrender", "channel.degraded_step", "switch.reroute")
+
+#: Mark fields surfaced in the detail suffix, in this order.
+_MARK_FIELDS = ("flow_id", "worker", "reason", "switch", "old_hop", "new_hop")
 
 
 @dataclass
@@ -126,13 +135,16 @@ def build_timeline(events: Sequence[Mapping[str, Any]], bins: int = 60) -> Timel
             idx = _bin_index(t, t0, bin_s, bins)
             series[idx] = max(series[idx], float(fields.get("bytes_queued", 0)))
         elif name in _ACTIVITY and t is not None:
-            row = tl.activity.setdefault(_ACTIVITY[name], [0] * bins)
+            key = _ACTIVITY[name]
+            if name == "switch.drop" and fields.get("kind") == "blackhole":
+                # Stale-FIB losses during reroute convergence are a
+                # fabric-health signal, not congestion: separate row.
+                key = "blackhole"
+            row = tl.activity.setdefault(key, [0] * bins)
             row[_bin_index(t, t0, bin_s, bins)] += 1
         elif name in _MARKS:
             detail = ", ".join(
-                f"{k}={fields[k]}"
-                for k in ("flow_id", "worker", "reason")
-                if k in fields
+                f"{k}={fields[k]}" for k in _MARK_FIELDS if k in fields
             )
             tl.marks.append((t if t is not None else t1, name, detail))
         if name == "channel.transfer":
@@ -208,7 +220,7 @@ def render_timeline(tl: Timeline) -> List[str]:
     if tl.activity:
         lines.append("")
         lines.append("-- switch/transport activity (events per bin) --")
-        for row in ("forward", "trim", "drop", "retransmit"):
+        for row in _ACTIVITY_ROWS:
             series = tl.activity.get(row)
             if series is None:
                 continue

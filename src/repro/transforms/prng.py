@@ -32,6 +32,7 @@ _PURPOSES = {
     "crosstraffic": 7,
     "fault": 8,
     "ecmp": 9,
+    "campaign": 10,
 }
 
 

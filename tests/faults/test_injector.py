@@ -159,6 +159,100 @@ class TestBlackout:
             FaultInjector(net, scenario, root_seed=0).install()
 
 
+class TestSwitchDown:
+    def test_dead_device_drops_then_recovery_completes(self):
+        scenario = make_scenario(
+            FaultSpec("switch-down", "switch:s0", start_s=0.0, down_s=5e-4)
+        )
+        net, injector, sender, _, messages, _ = run_message(scenario)
+        s0 = net.switches["s0"]
+        assert s0.stats.drops_by_kind.get("switch-down", 0) > 0
+        assert not s0.failed  # revived
+        assert all(link.up for link in s0.ports.values())
+        # The adjacent switch heard about the death and the recovery.
+        assert "s0" not in net.switches["s1"].ports_down
+        assert sender.done and len(messages) == 1
+
+    def test_records_adjacency(self):
+        scenario = make_scenario(
+            FaultSpec("switch-down", "switch:s0", start_s=0.0, down_s=5e-4)
+        )
+        net, injector, *_ = run_message(scenario)
+        down = [e for e in injector.events if e["state"] == "down"]
+        assert down and down[0]["adjacent"] == ["s1"]
+
+    def test_unknown_switch_rejected(self):
+        net = dumbbell(pairs=1)
+        scenario = make_scenario(
+            FaultSpec("switch-down", "switch:s9", start_s=0.0, down_s=1e-3)
+        )
+        with pytest.raises(ValueError, match="no switch"):
+            FaultInjector(net, scenario, root_seed=0).install()
+
+
+class TestPortFlap:
+    def test_layer1_flap_loses_without_rerouting(self):
+        scenario = make_scenario(
+            FaultSpec("port-flap", "s0:s1", start_s=0.0, down_s=5e-4,
+                      period_s=1e-3, stop_s=5e-3)
+        )
+        net, injector, sender, _, messages, _ = run_message(scenario)
+        link = net.link_between("s0", "s1")
+        assert link.packets_lost_down > 0
+        assert link.up  # restored after the last cycle
+        # The control plane never saw it: no port-down, no reroutes, no
+        # switch-side drops.
+        s0 = net.switches["s0"]
+        assert not s0.ports_down
+        assert s0.stats.reroutes == 0
+        assert s0.stats.drops_by_kind.get("blackhole", 0) == 0
+        assert sender.done and len(messages) == 1
+
+    def test_unknown_port_rejected(self):
+        net = dumbbell(pairs=1)
+        scenario = make_scenario(
+            FaultSpec("port-flap", "s0:rx9", start_s=0.0, down_s=1e-3)
+        )
+        with pytest.raises(ValueError, match="no port"):
+            FaultInjector(net, scenario, root_seed=0).install()
+
+
+class TestGrayFailure:
+    def test_silent_drops_while_port_stays_up(self):
+        scenario = make_scenario(
+            FaultSpec("gray-failure", "s0->s1", rate=0.3, stop_s=1e-4)
+        )
+        net, injector, sender, _, messages, _ = run_message(scenario)
+        drops = [e for e in injector.events if e.get("effect") == "drop"]
+        assert drops
+        # Gray: the port is up and the link never flapped.
+        link = net.link_between("s0", "s1")
+        assert link.up and link.packets_lost_down == 0
+        assert not net.switches["s0"].ports_down
+        assert sender.done and len(messages) == 1
+
+    def test_corruption_arm_detected_end_to_end(self):
+        scenario = make_scenario(
+            FaultSpec("gray-failure", "s0->s1", corrupt_rate=1.0, stop_s=5e-5)
+        )
+        net, injector, sender, packets, messages, _ = run_message(scenario)
+        corrupts = [e for e in injector.events if e.get("effect") == "corrupt"]
+        assert corrupts
+        for pkt in packets:
+            assert pkt.verify(), "sender-side packet was mutated in place"
+        assert len(messages) == 1
+        for pkt in messages[0]:
+            assert pkt.verify(), "corrupted payload reached on_message"
+
+    def test_deterministic_event_stream(self):
+        scenario = make_scenario(
+            FaultSpec("gray-failure", "s0->s1", rate=0.2, corrupt_rate=0.2)
+        )
+        first = run_message(scenario, seed=3)[1].events
+        second = run_message(scenario, seed=3)[1].events
+        assert first == second
+
+
 class TestInstallSemantics:
     def test_install_is_once_only(self):
         injector = FaultInjector(

@@ -1,0 +1,79 @@
+"""Every preset's fault targets remap cleanly onto the k=4 fat-tree.
+
+``_remap_scenario`` rewrites dumbbell role names (``s0->s1``,
+``s1:rx0``, ``switch:s0``, ...) onto the ECMP path pair 0 actually
+hashes to.  A dangling name would only surface when someone runs that
+preset on the fat-tree topology — this suite closes the gap by checking
+all presets x several ECMP seeds at build time, without simulating.
+"""
+
+import pytest
+
+from repro.faults import FaultInjector, PRESETS
+from repro.faults.harness import FLOW_BASE, _fat_tree_hosts, _remap_scenario
+from repro.net.topology import fat_tree
+
+#: A couple of ECMP seeds so the remap is exercised on different hashed
+#: paths, not just the seed-0 one.
+SEEDS = (0, 7)
+
+
+def _build(seed):
+    return fat_tree(k=4, rate_bps=10e9, ecmp=True, ecmp_seed=seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+class TestRemapCoverage:
+    def test_no_dangling_targets(self, preset, seed):
+        """Every remapped target resolves against the fat-tree."""
+        net = _build(seed)
+        scenario, worker_hosts = _remap_scenario(PRESETS[preset], net)
+        for spec in scenario.faults:
+            target = spec.target
+            if target.startswith("worker:"):
+                name = worker_hosts.get(spec.worker_rank)
+                assert name in net.hosts, (preset, target)
+                assert net.hosts[name].uplink is not None, (preset, target)
+            elif spec.fault == "switch-down":
+                name = target.split(":", 1)[1]
+                assert name in net.switches, (preset, target)
+            elif "->" in target:
+                src, dst = target.split("->", 1)
+                assert net.link_between(src, dst) is not None, (preset, target)
+            else:
+                switch, neighbor = target.split(":", 1)
+                assert switch in net.switches, (preset, target)
+                assert neighbor in net.switches[switch].ports, (preset, target)
+            # No dumbbell name survives the rewrite.
+            assert "s0" not in target and "s1" not in target, (preset, target)
+
+    def test_injector_installs(self, preset, seed):
+        """The injector — the real resolver — arms without errors."""
+        net = _build(seed)
+        scenario, worker_hosts = _remap_scenario(PRESETS[preset], net)
+        FaultInjector(
+            net, scenario, root_seed=seed, worker_hosts=worker_hosts
+        ).install()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_worker_ranks_map_to_pod0_senders(seed):
+    net = _build(seed)
+    for preset in sorted(PRESETS):
+        _, worker_hosts = _remap_scenario(PRESETS[preset], net)
+        pairs = min(PRESETS[preset].pairs, 4)
+        assert sorted(worker_hosts) == list(range(pairs))
+        for rank, name in worker_hosts.items():
+            assert name == _fat_tree_hosts(rank)[0]
+            assert name in net.hosts
+
+
+@pytest.mark.parametrize("pair", range(4))
+def test_pair_endpoints_cross_pods(pair):
+    tx, rx = _fat_tree_hosts(pair)
+    net = _build(0)
+    assert tx in net.hosts and rx in net.hosts
+    # pod 0 -> pod 1: the path always transits the shared fabric.
+    path = net.flow_path(tx, rx, FLOW_BASE + pair)
+    assert len(path) > 4

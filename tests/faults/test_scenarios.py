@@ -27,10 +27,40 @@ class TestFaultSpec:
             FaultSpec("flap", "s0->s1")
 
     def test_blackout_target_shape(self):
-        with pytest.raises(ValueError, match="switch:neighbor"):
+        with pytest.raises(ValueError, match="<switch>:<neighbor>"):
             FaultSpec("blackout", "s0->s1", down_s=1e-3)
         with pytest.raises(ValueError, match="src->dst"):
             FaultSpec("corrupt", "s0:s1", rate=0.1)
+
+    def test_port_flap_target_shape(self):
+        with pytest.raises(ValueError, match="<switch>:<neighbor>"):
+            FaultSpec("port-flap", "s0->s1", down_s=1e-3)
+        with pytest.raises(ValueError, match="down_s"):
+            FaultSpec("port-flap", "s0:s1")
+
+    def test_switch_down_target_shape(self):
+        with pytest.raises(ValueError, match="switch:<name>"):
+            FaultSpec("switch-down", "s0", down_s=1e-3)
+        with pytest.raises(ValueError, match="switch:<name>"):
+            FaultSpec("switch-down", "switch:", down_s=1e-3)
+        with pytest.raises(ValueError, match="down_s"):
+            FaultSpec("switch-down", "switch:s0")
+        FaultSpec("switch-down", "switch:s0", down_s=1e-3)  # valid
+
+    def test_gray_failure_validation(self):
+        with pytest.raises(ValueError, match="no-op"):
+            FaultSpec("gray-failure", "s0->s1")
+        with pytest.raises(ValueError, match="corrupt_rate"):
+            FaultSpec("gray-failure", "s0->s1", rate=0.1, corrupt_rate=1.5)
+        with pytest.raises(ValueError, match="src->dst"):
+            FaultSpec("gray-failure", "s0:s1", rate=0.1)
+        # rate=1.0 silent loss with no corruption is a legal gray hole.
+        FaultSpec("gray-failure", "s0->s1", rate=1.0)
+        FaultSpec("gray-failure", "s0->s1", corrupt_rate=0.2)
+
+    def test_corrupt_rate_is_gray_only(self):
+        with pytest.raises(ValueError, match="corrupt_rate only applies"):
+            FaultSpec("corrupt", "s0->s1", rate=0.1, corrupt_rate=0.1)
 
     def test_window_validation(self):
         with pytest.raises(ValueError, match="window"):
@@ -80,8 +110,8 @@ class TestScenario:
 
 
 class TestPresets:
-    def test_eight_presets(self):
-        assert len(PRESETS) == 8
+    def test_eleven_presets(self):
+        assert len(PRESETS) == 11
         assert available_scenarios() == sorted(PRESETS)
 
     def test_expected_names(self):
@@ -94,6 +124,9 @@ class TestPresets:
             "blackout-recovery",
             "worker-crash",
             "straggler-storm",
+            "core-switch-down",
+            "gray-core-leak",
+            "port-flap-storm",
         }
 
     def test_every_kind_is_covered(self):

@@ -100,6 +100,41 @@ class TestBuildReport:
         report = build_report([])
         assert "0 trace events" in report
 
+    def test_fabric_section_absent_on_healthy_runs(self):
+        assert "-- fabric self-healing --" not in build_report(_events())
+
+    def test_fabric_self_healing_section(self):
+        events = _events() + [
+            {
+                "name": "switch.reroute",
+                "seq": 8,
+                "wall_time": 0.0,
+                "sim_time": 6e-6,
+                "fields": {"switch": "agg0", "flow_id": 7, "old_hop": "core1",
+                           "new_hop": "core0"},
+            },
+            {
+                "name": "switch.drop",
+                "seq": 9,
+                "wall_time": 0.0,
+                "sim_time": 7e-6,
+                "fields": {"kind": "blackhole"},
+            },
+            {
+                "name": "switch.drop",
+                "seq": 10,
+                "wall_time": 0.0,
+                "sim_time": 8e-6,
+                "fields": {"kind": "switch-down"},
+            },
+        ]
+        report = build_report(events, title="faulty")
+        assert "-- fabric self-healing --" in report
+        assert "flow reroutes: 1 (agg0: 1)" in report
+        assert "failure drops: blackhole: 1, switch-down: 1" in report
+        # Queue-full drops stay out of the failure line.
+        assert "buffer-overflow" not in report.split("-- fabric")[1].split("--")[0]
+
     def test_metrics_snapshot_section(self):
         registry = MetricsRegistry(enabled=True)
         registry.counter("c", labels=("l",)).inc(9, l="x")

@@ -70,6 +70,34 @@ class TestBuildTimeline:
         assert row["layer"] == 12
         assert row["trim_fraction"] == 0.25
 
+    def test_blackhole_drops_get_their_own_row(self):
+        events = synthetic_events() + [
+            ev("switch.drop", 0.2, kind="blackhole", flow_id=500),
+            ev("switch.drop", 0.2, kind="blackhole", flow_id=500),
+        ]
+        tl = build_timeline(events, bins=1)
+        assert tl.activity["blackhole"] == [2]
+        # Queue-full style drops stay in the plain row.
+        assert tl.activity["drop"] == [1]
+
+    def test_reroutes_surface_as_marks(self):
+        events = synthetic_events() + [
+            ev(
+                "switch.reroute",
+                0.3,
+                switch="agg0",
+                flow_id=500,
+                old_hop="core1",
+                new_hop="core0",
+            ),
+        ]
+        tl = build_timeline(events, bins=4)
+        assert (
+            0.3,
+            "switch.reroute",
+            "flow_id=500, switch=agg0, old_hop=core1, new_hop=core0",
+        ) in tl.marks
+
     def test_needs_timed_events(self):
         with pytest.raises(ValueError, match="sim_time"):
             build_timeline([ev("channel.degraded_step", None)], bins=4)

@@ -92,6 +92,11 @@ class TestFatTreeFaultInvariants:
             target = event["target"]
             if target.startswith("worker:"):
                 continue
+            if target.startswith("switch:"):
+                # Device-scoped target: the part after the role prefix
+                # must be a live switch.
+                assert target.split(":", 1)[1] in run.network.switches
+                continue
             for part in target.replace("->", ":").split(":"):
                 assert part in run.network.hosts or part in run.network.switches
 

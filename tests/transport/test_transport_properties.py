@@ -134,3 +134,79 @@ def test_trimming_transport_survives_mixed_impairment(drop, trim, seed):
     assert sender.done
     decoded = decode_packets(messages[0], codec)
     assert np.all(np.isfinite(decoded))
+
+
+# -- RttEstimator properties --------------------------------------------------
+
+_rtt_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("sample"),
+            st.floats(min_value=1e-7, max_value=10.0, allow_nan=False),
+        ),
+        st.tuples(st.just("backoff"), st.just(0.0)),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    rto_min=st.floats(min_value=1e-6, max_value=1e-2),
+    spread=st.floats(min_value=2.0, max_value=1e4),
+    ops=_rtt_ops,
+)
+def test_rto_always_within_configured_bounds(rto_min, spread, ops):
+    """No sample/backoff sequence can push rto outside [rto_min, rto_max]."""
+    from repro.transport import RttEstimator
+
+    est = RttEstimator(rto_min=rto_min, rto_max=rto_min * spread)
+    assert est.rto_min <= est.rto <= est.rto_max
+    for op, value in ops:
+        if op == "sample":
+            est.sample(value)
+        else:
+            est.backoff()
+        assert est.rto_min <= est.rto <= est.rto_max
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    rtt=st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+    expiries=st.integers(min_value=1, max_value=12),
+)
+def test_backoff_monotone_until_next_sample(rtt, expiries):
+    """Consecutive expiries never shorten the timeout; only a fresh
+    sample may bring it back down."""
+    from repro.transport import RttEstimator
+
+    est = RttEstimator()
+    est.sample(rtt)
+    timeline = [est.rto]
+    for _ in range(expiries):
+        est.backoff()
+        timeline.append(est.rto)
+    assert timeline == sorted(timeline)
+    assert timeline[-1] <= est.rto_max
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    rtt=st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+    expiries=st.integers(min_value=1, max_value=12),
+    fresh=st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+)
+def test_fresh_sample_resets_backoff_multiplier(rtt, expiries, fresh):
+    """A successful measurement cancels the exponential penalty: the rto
+    right after sample() is the un-backed-off estimate."""
+    from repro.transport import RttEstimator
+
+    est = RttEstimator()
+    est.sample(rtt)
+    for _ in range(expiries):
+        est.backoff()
+    est.sample(fresh)
+    assert est.srtt is not None and est.rttvar is not None
+    unbacked = min(est.rto_max, max(est.rto_min, est.srtt + 4 * est.rttvar))
+    assert est.rto == unbacked
